@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+
+	"ntcsim/internal/core"
+	"ntcsim/internal/governor"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+	"ntcsim/internal/tech"
+	"ntcsim/internal/thermal"
+	"ntcsim/internal/workload"
+)
+
+// cmdVariation reproduces the paper's Sec. II-A item 4 argument: process
+// variation is magnified at near-threshold voltages, and per-core body
+// bias recovers the loss.
+func cmdVariation(seed uint64) error {
+	fmt.Fprintln(out, "== Sec. II-A(4): near-threshold variation and body-bias compensation ==")
+	t := tech.FDSOI28()
+	offsets := tech.DefaultVariation().SampleOffsets(36, rng.New(seed))
+	w := table()
+	fmt.Fprintln(w, "Vdd\tnominal_MHz\tuncompensated_MHz\tloss\tcompensated_MHz\tresidual_loss\tmax_bias_V")
+	for _, vdd := range []float64{0.5, 0.6, 0.7, 0.9, 1.1, 1.3} {
+		imp := t.AnalyzeVariation(vdd, offsets)
+		fmt.Fprintf(w, "%.2f\t%.0f\t%.0f\t%.1f%%\t%.0f\t%.1f%%\t%.2f\n",
+			imp.Vdd, imp.NominalHz/1e6, imp.UncompensatedHz/1e6,
+			100*imp.LossUncompensated, imp.CompensatedHz/1e6,
+			100*imp.LossCompensated, imp.MaxBiasUsedV)
+	}
+	return w.Flush()
+}
+
+// cmdDarkSilicon reproduces the Sec. V-B1 TDP argument: at NT operating
+// points the 100W budget feeds every core; at peak frequency it cannot.
+func cmdDarkSilicon(newExplorer func() (*core.Explorer, error)) error {
+	fmt.Fprintln(out, "== Sec. V-B1: TDP and dark silicon across the DVFS range ==")
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	m := thermal.Default()
+	uncoreW := e.Platform.UncorePowerW(100e6, 40e6, 150e6)
+	freqs := []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9, 2.5e9, 3.0e9, 3.2e9}
+	pts, err := thermal.DarkSilicon(m, e.Platform.Core, uncoreW, e.Platform.TotalCores(), freqs)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "freq_MHz\tVdd\tW/core\tactive_cores\tdark_fraction\tTj_at_budget")
+	for _, p := range pts {
+		chipW := float64(p.ActiveCores)*p.PerCoreW + uncoreW
+		fmt.Fprintf(w, "%.0f\t%.3f\t%.2f\t%d/%d\t%.0f%%\t%.1fC\n",
+			p.FreqHz/1e6, p.Vdd, p.PerCoreW, p.ActiveCores, p.TotalCores,
+			100*p.DarkFraction, m.JunctionTemp(chipW))
+	}
+	return w.Flush()
+}
+
+// cmdGovernor runs the energy-proportionality policy comparison over a
+// diurnal day of load (Sec. V-C's knobs, operationalized).
+func cmdGovernor(newExplorer func() (*core.Explorer, error), seed uint64) error {
+	fmt.Fprintln(out, "== Sec. V-C: DVFS governor policies over a diurnal day (web-search) ==")
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	app := workload.WebSearch()
+	sweep, err := e.Sweep(app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
+	if err != nil {
+		return err
+	}
+	var pts []governor.PerfPoint
+	for _, p := range sweep.Points {
+		pts = append(pts, governor.PerfPoint{FreqHz: p.FreqHz, UIPS: p.UIPSChip})
+	}
+	curve, err := governor.NewPerfCurve(pts)
+	if err != nil {
+		return err
+	}
+	maxUIPS := curve.UIPSAt(curve.MaxFreq())
+	cfg := &governor.Config{
+		Platform:       e.Platform,
+		Curve:          curve,
+		Tail:           qos.NewTailModel(e.Platform.TotalCores(), app.Baseline99p, maxUIPS),
+		QoSLimit:       app.QoSLimit,
+		UncoreW:        e.Platform.UncorePowerW(100e6, 40e6, 150e6),
+		MemBackgroundW: e.Platform.MemoryPowerW(0, 0),
+		MemDynPerReq:   2e-3,
+		Margin:         0.85,
+	}
+	peak := cfg.Tail.MaxLoad(cfg.QoSLimit, maxUIPS) * 0.7
+	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(seed))
+
+	results, err := governor.Compare(cfg, trace,
+		governor.NewMaxFrequency(), governor.NewRaceToIdle(),
+		governor.NewStaticNT(cfg, peak*1.3), governor.NewAdaptive())
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "policy\tenergy_kWh/day\tavg_W\tQoS_violations\tsaving_vs_max")
+	base := results[0].EnergyKWh
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%d\t%.1f%%\n",
+			r.Policy, r.EnergyKWh, r.AvgPowerW, r.Violations, 100*(1-r.EnergyKWh/base))
+	}
+	return w.Flush()
+}
+
+// cmdInterference quantifies the co-scheduling interference of
+// Sec. III-B1 and its relaxation at near-threshold frequencies.
+func cmdInterference(newExplorer func() (*core.Explorer, error)) error {
+	fmt.Fprintln(out, "== Sec. III-B1: co-scheduling interference (victim: web-search, aggressor: bubble) ==")
+	w := table()
+	fmt.Fprintln(w, "freq_MHz\tsolo_UIPC\tmixed_UIPC\tslowdown\tlat/QoS_solo\tlat/QoS_mixed\tviolated")
+	for _, f := range []float64{0.26e9, 0.5e9, 1.0e9, 2.0e9} {
+		e, err := newExplorer()
+		if err != nil {
+			return err
+		}
+		rep, err := e.Interference(workload.WebSearch(), workload.Bubble(), f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.0f\t%.3f\t%.3f\t%.2fx\t%.3f\t%.3f\t%v\n",
+			f/1e6, rep.SoloUIPC, rep.MixedUIPC, rep.Slowdown,
+			rep.NormalizedSolo, rep.NormalizedMixed, rep.QoSViolated)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "(interference relaxes at NT frequencies — the opening the paper's")
+	fmt.Fprintln(out, " discussion identifies for public-cloud consolidation)")
+	return nil
+}

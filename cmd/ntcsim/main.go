@@ -1,0 +1,376 @@
+// Command ntcsim regenerates every table and figure of "Towards
+// Near-Threshold Server Processors" (DATE 2016) from the simulation stack:
+//
+//	ntcsim fig1     technology voltage/power curves (Fig. 1)
+//	ntcsim table1   DDR4 rank energy figures (Table I)
+//	ntcsim fig2     normalized 99th-percentile latency vs frequency (Fig. 2)
+//	ntcsim fig3     cores/SoC/server efficiency, scale-out apps (Fig. 3)
+//	ntcsim fig4     cores/SoC/server efficiency, virtualized apps (Fig. 4)
+//	ntcsim opt      QoS-feasible minimum frequencies and optimal points (Sec. V)
+//	ntcsim ablation FD-SOI knobs, LPDDR4 what-if, cluster-size check (Sec. V-C)
+//	ntcsim all      everything above
+//
+// By default the reduced-cost sampling configuration is used; pass
+// -fidelity=paper for the full SMARTS windows (much slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"ntcsim/internal/core"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ntcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ntcsim", flag.ContinueOnError)
+	fidelity := fs.String("fidelity", "quick", "sampling fidelity: quick or paper")
+	seed := fs.Uint64("seed", 0x5eed, "simulation seed")
+	ckptDir := fs.String("ckptdir", "", "directory for warmed-cluster checkpoints (reused across runs)")
+	outPath := fs.String("out", "", "also write all output to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing command (fig1|table1|fig2|fig3|fig4|opt|ablation|variation|darksilicon|governor|interference|scaling|workloads|prefetch|ports|hetero|warm|all)")
+	}
+
+	newExplorer := func() (*core.Explorer, error) {
+		e, err := core.NewExplorer()
+		if err != nil {
+			return nil, err
+		}
+		e.Sim.Seed = *seed
+		e.CheckpointDir = *ckptDir
+		switch *fidelity {
+		case "quick":
+		case "paper":
+			e.PaperFidelity()
+		default:
+			return nil, fmt.Errorf("unknown fidelity %q", *fidelity)
+		}
+		return e, nil
+	}
+
+	cmd := fs.Arg(0)
+	switch cmd {
+	case "fig1":
+		return cmdFig1()
+	case "table1":
+		return cmdTable1()
+	case "fig2":
+		return cmdFig2(newExplorer)
+	case "fig3":
+		return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
+	case "fig4":
+		return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+	case "opt":
+		return cmdOpt(newExplorer)
+	case "ablation":
+		return cmdAblation(newExplorer)
+	case "variation":
+		return cmdVariation(*seed)
+	case "darksilicon":
+		return cmdDarkSilicon(newExplorer)
+	case "governor":
+		return cmdGovernor(newExplorer, *seed)
+	case "interference":
+		return cmdInterference(newExplorer)
+	case "scaling":
+		return cmdScaling(newExplorer)
+	case "workloads":
+		return cmdWorkloads(newExplorer)
+	case "prefetch":
+		return cmdPrefetch(newExplorer)
+	case "ports":
+		return cmdPorts(newExplorer)
+	case "hetero":
+		return cmdHetero(newExplorer)
+	case "warm":
+		return cmdWarm(newExplorer, *ckptDir)
+	case "all":
+		for _, f := range []func() error{
+			cmdFig1,
+			cmdTable1,
+			func() error { return cmdFig2(newExplorer) },
+			func() error {
+				return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
+			},
+			func() error {
+				return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+			},
+			func() error { return cmdOpt(newExplorer) },
+			func() error { return cmdAblation(newExplorer) },
+			func() error { return cmdVariation(*seed) },
+			func() error { return cmdDarkSilicon(newExplorer) },
+			func() error { return cmdGovernor(newExplorer, *seed) },
+			func() error { return cmdInterference(newExplorer) },
+			func() error { return cmdScaling(newExplorer) },
+			func() error { return cmdWorkloads(newExplorer) },
+			func() error { return cmdPrefetch(newExplorer) },
+			func() error { return cmdPorts(newExplorer) },
+			func() error { return cmdHetero(newExplorer) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// out is the destination of every report; -out tees it into a file.
+var out io.Writer = os.Stdout
+
+func table() *tabwriter.Writer {
+	return tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+}
+
+func cmdFig1() error {
+	fmt.Fprintln(out, "== Figure 1: A57 voltage and chip power vs frequency (36 cores) ==")
+	curves := core.Fig1Curves(36, core.Fig1Frequencies())
+	w := table()
+	fmt.Fprint(w, "freq_MHz")
+	for _, c := range curves {
+		fmt.Fprintf(w, "\t%s_Vdd\t%s_W", c.Label, c.Label)
+	}
+	fmt.Fprintln(w)
+	for i := range curves[0].Points {
+		fmt.Fprintf(w, "%.0f", curves[0].Points[i].FreqHz/1e6)
+		for _, c := range curves {
+			p := c.Points[i]
+			if p.Reachable {
+				fmt.Fprintf(w, "\t%.3f\t%.2f", p.Vdd, p.ChipPowerW)
+			} else {
+				fmt.Fprint(w, "\t-\t-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func cmdTable1() error {
+	fmt.Fprintln(out, "== Table I: power of an 8x 4Gbit DDR4 chip at 1.6GHz ==")
+	e := core.TableI()
+	w := table()
+	fmt.Fprintln(w, "E_IDLE [nJ/cycle]\tE_READ [nJ/byte]\tE_WRITE [nJ/byte]")
+	fmt.Fprintf(w, "%.4f\t%.4f\t%.4f\n", e.IdlePerCycleNJ, e.ReadPerByteNJ, e.WritePerByteNJ)
+	return w.Flush()
+}
+
+func cmdFig2(newExplorer func() (*core.Explorer, error)) error {
+	fmt.Fprintln(out, "== Figure 2: 99th-percentile latency normalized to QoS vs core frequency ==")
+	freqs := core.DefaultFrequencies()
+	sweeps := make([]*core.Sweep, 0, 4)
+	for _, p := range workload.ScaleOutProfiles() {
+		e, err := newExplorer()
+		if err != nil {
+			return err
+		}
+		sw, err := e.Sweep(p, freqs)
+		if err != nil {
+			return err
+		}
+		sweeps = append(sweeps, sw)
+	}
+	w := table()
+	fmt.Fprint(w, "freq_MHz")
+	for _, sw := range sweeps {
+		fmt.Fprintf(w, "\t%s", sw.Workload.Name)
+	}
+	fmt.Fprintln(w, "\tQoS_limit")
+	for i, f := range freqs {
+		fmt.Fprintf(w, "%.0f", f/1e6)
+		for _, sw := range sweeps {
+			fmt.Fprintf(w, "\t%.3f", sw.Points[i].Metric)
+		}
+		fmt.Fprintln(w, "\t1.000")
+	}
+	return w.Flush()
+}
+
+func cmdEfficiency(newExplorer func() (*core.Explorer, error), profiles []*workload.Profile, title string) error {
+	fmt.Fprintln(out, "==", title, "==")
+	freqs := core.DefaultFrequencies()
+	sweeps := make([]*core.Sweep, 0, len(profiles))
+	for _, p := range profiles {
+		e, err := newExplorer()
+		if err != nil {
+			return err
+		}
+		sw, err := e.Sweep(p, freqs)
+		if err != nil {
+			return err
+		}
+		sweeps = append(sweeps, sw)
+	}
+	scopes := []struct {
+		name string
+		get  func(core.Point) float64
+	}{
+		{"(a) cores", func(p core.Point) float64 { return p.EffCores }},
+		{"(b) SoC", func(p core.Point) float64 { return p.EffSoC }},
+		{"(c) server", func(p core.Point) float64 { return p.EffServer }},
+	}
+	for _, sc := range scopes {
+		get := sc.get
+		fmt.Fprintf(out, "-- %s efficiency, GUIPS/W --\n", sc.name)
+		w := table()
+		fmt.Fprint(w, "freq_MHz")
+		for _, sw := range sweeps {
+			fmt.Fprintf(w, "\t%s", sw.Workload.Name)
+		}
+		fmt.Fprintln(w)
+		for i, f := range freqs {
+			fmt.Fprintf(w, "%.0f", f/1e6)
+			for _, sw := range sweeps {
+				fmt.Fprintf(w, "\t%.3f", get(sw.Points[i])/1e9)
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdOpt(newExplorer func() (*core.Explorer, error)) error {
+	fmt.Fprintln(out, "== Sec. V: QoS-feasible minimum frequencies and optimal efficiency points ==")
+	freqs := core.DefaultFrequencies()
+	w := table()
+	fmt.Fprintln(w, "workload\tmin_QoS_MHz\tbest_cores_MHz\tbest_SoC_MHz\tbest_server_MHz\tserver_eff_GUIPS/W")
+	for _, p := range workload.All() {
+		e, err := newExplorer()
+		if err != nil {
+			return err
+		}
+		sw, err := e.Sweep(p, freqs)
+		if err != nil {
+			return err
+		}
+		o := sw.Optima()
+		min := "-"
+		if o.HasFeasible {
+			min = fmt.Sprintf("%.0f", o.MinFeasibleHz/1e6)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.0f\t%.3f\n",
+			p.Name, min,
+			o.BestCores.FreqHz/1e6, o.BestSoC.FreqHz/1e6, o.BestServer.FreqHz/1e6,
+			o.BestServer.EffServer/1e9)
+		if p.Class == workload.Virtualized {
+			var f2, f4 float64
+			for _, pt := range sw.Points {
+				d := qos.Degradation(sw.BaselineUIPS, pt.UIPSChip)
+				if f4 == 0 && d <= qos.DegradationRelaxed {
+					f4 = pt.FreqHz
+				}
+				if f2 == 0 && d <= qos.DegradationStrict {
+					f2 = pt.FreqHz
+				}
+			}
+			fmt.Fprintf(w, "  degradation bounds\t4x>=%.0f MHz\t2x>=%.0f MHz\t\t\t\n", f4/1e6, f2/1e6)
+		}
+	}
+	return w.Flush()
+}
+
+func cmdAblation(newExplorer func() (*core.Explorer, error)) error {
+	fmt.Fprintln(out, "== Sec. V-C ablations: FD-SOI knobs, LPDDR4, cluster size ==")
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+
+	sleep, err := e.SleepAnalysis(0.5e9)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "-- RBB sleep at %.2fV: active-idle %.2fW -> sleep %.2fW (%.1fx, %v transition, state-retentive) --\n",
+		sleep.Vdd, sleep.ActiveIdleW, sleep.RBBSleepW, sleep.Reduction, sleep.TransitionTime)
+
+	boost, err := e.BoostAnalysis(0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "-- FBB boost at %.2fV: %.0f MHz -> %.0f MHz (%.1fx) for %.1fW -> %.1fW, %v transition --\n",
+		boost.Vdd, boost.BaseFreqHz/1e6, boost.BoostFreqHz/1e6, boost.Speedup,
+		boost.BasePowerW, boost.BoostPowerW, boost.TransitionTime)
+
+	// LPDDR4 what-if on the most memory-hungry scale-out app.
+	freqs := []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9}
+	ddr4Sweep, err := e.Sweep(workload.MediaStreaming(), freqs)
+	if err != nil {
+		return err
+	}
+	lpE := e.LPDDR4Explorer()
+	lpSweep, err := lpE.Sweep(workload.MediaStreaming(), freqs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "-- server efficiency (GUIPS/W), media-streaming: DDR4 vs LPDDR4 --")
+	w := table()
+	fmt.Fprintln(w, "freq_MHz\tDDR4\tLPDDR4\tgain")
+	for i := range freqs {
+		d, l := ddr4Sweep.Points[i].EffServer/1e9, lpSweep.Points[i].EffServer/1e9
+		fmt.Fprintf(w, "%.0f\t%.3f\t%.3f\t%.2fx\n", freqs[i]/1e6, d, l, l/d)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// Cluster-size sensitivity (paper Sec. II-B: trends are unaffected).
+	fmt.Fprintln(out, "-- cluster-size ablation: per-core UIPC trend, 4-core vs 8-core clusters --")
+	e4, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	e8, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	e8.Sim.CoresPerCluster = 8
+	e8.Sim.LLCBanks = 8
+	e8.Sim.LLC.CapacityBytes = 8 << 20 // keep the core:cache ratio
+	e8.Platform.Clusters = 4           // roughly iso-area
+	e8.Platform.CoresPerCl = 8
+	s4, err := e4.Sweep(workload.WebSearch(), freqs)
+	if err != nil {
+		return err
+	}
+	s8, err := e8.Sweep(workload.WebSearch(), freqs)
+	if err != nil {
+		return err
+	}
+	w = table()
+	fmt.Fprintln(w, "freq_MHz\tUIPC/core_4c\tUIPC/core_8c")
+	for i := range freqs {
+		u4 := s4.Points[i].UIPSChip / freqs[i] / float64(e4.Platform.TotalCores())
+		u8 := s8.Points[i].UIPSChip / freqs[i] / float64(e8.Platform.TotalCores())
+		fmt.Fprintf(w, "%.0f\t%.3f\t%.3f\n", freqs[i]/1e6, u4, u8)
+	}
+	return w.Flush()
+}

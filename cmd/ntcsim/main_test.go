@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ntcsim/internal/core"
+)
+
+// capture redirects the report writer for one test.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	old := out
+	out = &buf
+	defer func() { out = old }()
+	if err := f(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCmdTable1Output(t *testing.T) {
+	got := capture(t, cmdTable1)
+	for _, want := range []string{"E_IDLE", "0.0728", "0.2566", "0.2495"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdFig1Output(t *testing.T) {
+	got := capture(t, cmdFig1)
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	// Header + title + 35 frequency rows.
+	if len(lines) < 30 {
+		t.Fatalf("fig1 produced %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "bulk_Vdd") || !strings.Contains(lines[1], "fdsoi+fbb_W") {
+		t.Fatalf("fig1 header malformed: %s", lines[1])
+	}
+	// Bulk must drop out ('-') before the end of the sweep.
+	if !strings.Contains(got, "-") {
+		t.Fatal("bulk should become unreachable at high frequency")
+	}
+}
+
+func TestCmdVariationOutput(t *testing.T) {
+	got := capture(t, func() error { return cmdVariation(7) })
+	if !strings.Contains(got, "compensated_MHz") {
+		t.Fatalf("variation output malformed:\n%s", got)
+	}
+	// The 0.5V row must show substantial loss and ~zero residual.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "0.50") {
+			if !strings.Contains(line, "0.0%") {
+				t.Fatalf("0.5V row should show full recovery: %s", line)
+			}
+			return
+		}
+	}
+	t.Fatal("missing 0.5V row")
+}
+
+func TestCmdDarkSiliconOutput(t *testing.T) {
+	newE := testExplorerFactory(t)
+	got := capture(t, func() error { return cmdDarkSilicon(newE) })
+	if !strings.Contains(got, "36/36") {
+		t.Fatalf("NT rows should show all cores active:\n%s", got)
+	}
+	if !strings.Contains(got, "dark_fraction") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command should error")
+	}
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing command should error")
+	}
+	if err := run([]string{"-fidelity", "bogus", "fig2"}); err == nil {
+		t.Fatal("bad fidelity should error")
+	}
+}
+
+func TestRunCheapCommands(t *testing.T) {
+	var buf bytes.Buffer
+	old := out
+	out = &buf
+	defer func() { out = old }()
+	for _, cmd := range []string{"table1", "fig1", "variation", "darksilicon"} {
+		if err := run([]string{cmd}); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("commands produced no output")
+	}
+}
+
+// testExplorerFactory mirrors run()'s explorer construction with the quick
+// configuration.
+func testExplorerFactory(t *testing.T) func() (*core.Explorer, error) {
+	t.Helper()
+	return func() (*core.Explorer, error) {
+		e, err := core.NewExplorer()
+		if err != nil {
+			return nil, err
+		}
+		e.WarmInstr = 200_000
+		return e, nil
+	}
+}

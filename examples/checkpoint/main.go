@@ -1,0 +1,83 @@
+// Checkpoint workflow: warm a cluster once, save the warmed state to disk,
+// and fan out cheap experiments from it — the paper's methodology ("we
+// launch simulations from checkpoints with warmed caches and branch
+// predictors", Sec. IV). Warming dominates simulation cost, so this is the
+// pattern for running many studies off one warmup.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ntcsim/internal/sim"
+	"ntcsim/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ntcsim-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "web-search.ckpt")
+
+	// 1. Warm once (the expensive part) and save.
+	start := time.Now()
+	cl, err := sim.NewCluster(sim.DefaultConfig(), workload.WebSearch(), 2e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl.FastForward(3_000_000)
+	cl.Run(50_000)
+	warmTime := time.Since(start)
+
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Checkpoint().Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warmed in %v, checkpoint %s (%.1f MB)\n\n",
+		warmTime.Round(time.Millisecond), filepath.Base(path),
+		float64(info.Size())/1e6)
+
+	// 2. Fan out: restore the same warmed state per experiment and measure
+	// at a different frequency each time.
+	fmt.Printf("%-8s %-12s %-10s\n", "freq", "UIPC/core", "restore+measure")
+	for _, ghz := range []float64{0.3, 0.5, 1.0, 2.0} {
+		t0 := time.Now()
+		g, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ck, err := sim.LoadCheckpoint(g)
+		g.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		restored, err := sim.RestoreCluster(ck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		restored.SetFrequency(ghz * 1e9)
+		restored.Run(20_000)
+		m := restored.Measure(50_000)
+		fmt.Printf("%.1fGHz   %-12.3f %v\n",
+			ghz, m.UIPC()/float64(restored.Cores()),
+			time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Println("\neach experiment reused the warmup instead of repeating it")
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate one scale-out workload on the paper's 36-core
+// FD-SOI server across three DVFS points and print throughput, power, and
+// efficiency at the three scopes (cores / SoC / server).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ntcsim/internal/core"
+	"ntcsim/internal/workload"
+)
+
+func main() {
+	explorer, err := core.NewExplorer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reduced warmup keeps the quickstart fast; see DESIGN.md for the
+	// paper-fidelity settings.
+	explorer.WarmInstr = 1_000_000
+
+	app := workload.WebSearch()
+	fmt.Printf("workload: %s (%s, QoS %v)\n\n", app.Name, app.Class, app.QoSLimit)
+
+	sweep, err := explorer.Sweep(app, []float64{0.3e9, 1.0e9, 2.0e9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-7s %-10s %-22s %-8s %s\n",
+		"freq", "Vdd", "UIPS", "power cores/SoC/server", "lat/QoS", "eff server")
+	for _, pt := range sweep.Points {
+		fmt.Printf("%-8s %.3fV  %6.2f G   %5.1f / %5.1f / %5.1f W   %6.3f   %.3f GUIPS/W\n",
+			fmt.Sprintf("%.1fGHz", pt.FreqHz/1e9),
+			pt.Op.Vdd,
+			pt.UIPSChip/1e9,
+			pt.Power.CoresW, pt.Power.SoCW(), pt.Power.TotalW(),
+			pt.Metric,
+			pt.EffServer/1e9)
+	}
+
+	o := sweep.Optima()
+	fmt.Printf("\nmost server-efficient point meeting QoS: %.1f GHz (%.3f GUIPS/W)\n",
+		o.QoSBestServer.FreqHz/1e9, o.QoSBestServer.EffServer/1e9)
+}

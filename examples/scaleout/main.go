@@ -1,0 +1,55 @@
+// Private-cloud scenario (paper Sec. III-B1, V-A): latency-critical
+// scale-out services cannot be consolidated or batched, so the only energy
+// knob is the operating point. This example finds, for each CloudSuite
+// workload, the lowest frequency that still meets the tail-latency QoS and
+// the most server-efficient QoS-feasible point, and reports the power
+// saved against always-max-frequency operation.
+//
+//	go run ./examples/scaleout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ntcsim/internal/core"
+	"ntcsim/internal/workload"
+)
+
+func main() {
+	freqs := []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9}
+
+	fmt.Println("private cloud: QoS-constrained operating points (28nm FD-SOI, 36 cores)")
+	fmt.Printf("\n%-16s %-10s %-12s %-14s %-14s %s\n",
+		"workload", "QoS", "min feasible", "best (QoS ok)", "server power", "saved vs 2GHz")
+
+	for _, app := range workload.ScaleOutProfiles() {
+		explorer, err := core.NewExplorer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		explorer.WarmInstr = 1_000_000
+
+		sweep, err := explorer.Sweep(app, freqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := sweep.Optima()
+		if !o.HasFeasible {
+			fmt.Printf("%-16s no feasible point in sweep\n", app.Name)
+			continue
+		}
+		max := sweep.Points[len(sweep.Points)-1]
+		best := o.QoSBestServer
+		fmt.Printf("%-16s %-10v %-12s %-14s %5.1f W        %4.1f%%\n",
+			app.Name, app.QoSLimit,
+			fmt.Sprintf("%.0f MHz", o.MinFeasibleHz/1e6),
+			fmt.Sprintf("%.0f MHz", best.FreqHz/1e6),
+			best.Power.TotalW(),
+			100*(1-best.Power.TotalW()/max.Power.TotalW()))
+	}
+
+	fmt.Println("\nAll four services tolerate near-threshold frequencies (200-500MHz)")
+	fmt.Println("before violating QoS; the efficiency optimum sits near 1GHz because")
+	fmt.Println("uncore and DRAM background power do not scale with the core voltage.")
+}

@@ -1,0 +1,67 @@
+// Public-cloud scenario (paper Sec. III-B2, V-C): virtualized banking
+// workloads run as batch tasks bounded by execution-time degradation (2x
+// strict, 4x relaxed) rather than tail latency. This example sweeps both
+// VM classes, reports the frequencies admissible under each bound, and
+// packs a Bitbrains-style VM population onto one near-threshold server to
+// show the consolidation headroom the paper's discussion anticipates.
+//
+//	go run ./examples/virtualized
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ntcsim/internal/core"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+	"ntcsim/internal/workload"
+)
+
+func main() {
+	freqs := []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9}
+
+	fmt.Println("public cloud: degradation-bounded DVFS for virtualized banking VMs")
+	for _, vm := range workload.VMProfiles() {
+		explorer, err := core.NewExplorer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		explorer.WarmInstr = 1_000_000
+		sweep, err := explorer.Sweep(vm, freqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\n%s (footprint %d MB):\n", vm.Name, vm.DataBytes>>20)
+		fmt.Printf("  %-8s %-12s %-10s %-10s\n", "freq", "degradation", "<=2x?", "<=4x?")
+		for _, pt := range sweep.Points {
+			deg := qos.Degradation(sweep.BaselineUIPS, pt.UIPSChip)
+			fmt.Printf("  %-8s %8.2fx    %-10v %-10v\n",
+				fmt.Sprintf("%.1fGHz", pt.FreqHz/1e9), deg,
+				deg <= qos.DegradationStrict, deg <= qos.DegradationRelaxed)
+		}
+
+		// Consolidation: pack a statistically representative VM population
+		// onto one server at the best feasible point.
+		pts := core.Consolidation(sweep, qos.DegradationRelaxed)
+		best, ok := core.BestConsolidation(pts)
+		if !ok {
+			continue
+		}
+		vms := workload.DefaultBitbrains().Sample(1750, rng.New(2016))
+		fleet := explorer.PackVMs(vms, best, qos.DegradationRelaxed)
+		fmt.Printf("  consolidation at %.1f GHz: %d VMs on one server (%.1f GB provisioned,"+
+			" %.2f VMs/core, %.2fx degradation each",
+			best.FreqHz/1e9, fleet.VMs, float64(fleet.TotalMemBytes)/(1<<30),
+			fleet.VMsPerCore, fleet.DegradationEach)
+		if fleet.MemoryLimited {
+			fmt.Print(", memory-limited")
+		}
+		fmt.Println(")")
+	}
+
+	stats := workload.Summarize(workload.DefaultBitbrains().Sample(1750, rng.New(2016)))
+	fmt.Printf("\nBitbrains-style population: %d VMs, %d high-mem, mean used %.0f MB, P95 CPU %.2f\n",
+		stats.Count, stats.HighMemCount, stats.MeanUsedBytes/(1<<20), stats.P95CPUUtil)
+}

@@ -1,0 +1,3 @@
+module ntcsim
+
+go 1.22

@@ -1,0 +1,330 @@
+// Package cache implements the tag-only cache models of the simulated
+// memory hierarchy (paper Sec. II-B, IV): 32KB 2-way L1 instruction and
+// data caches per core, and the 4MB 16-way shared LLC of each cluster
+// (accessed through the crossbar as 4 independent banks).
+//
+// The caches are timing/occupancy models in the style of trace-driven
+// simulators: they store tags and dirty bits but no data. Caches are
+// write-back, write-allocate, with true LRU replacement. Miss-status
+// holding registers (MSHRs) are modeled separately so the core model can
+// bound its memory-level parallelism.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+}
+
+// L1Config returns the paper's 32KB 2-way L1 (I or D) configuration.
+func L1Config(name string) Config {
+	return Config{Name: name, SizeBytes: 32 << 10, Assoc: 2, LineBytes: 64}
+}
+
+// LLCBankConfig returns one bank of the paper's 4MB 16-way cluster LLC
+// (4 banks of 1MB each).
+func LLCBankConfig(bank int) Config {
+	return Config{
+		Name:      fmt.Sprintf("llc-bank%d", bank),
+		SizeBytes: 1 << 20,
+		Assoc:     16,
+		LineBytes: 64,
+	}
+}
+
+// Stats counts cache events since the last Reset.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// HitRate returns hits/accesses (0 when empty).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MPKIFor returns misses per kilo-instruction given an instruction count.
+func (s Stats) MPKIFor(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative, write-back, write-allocate, true-LRU,
+// tag-only cache. It is not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]way // sets[i] ordered most- to least-recently used
+	setMask  uint64
+	lineBits uint
+	stats    Stats
+}
+
+// Victim describes a line evicted by a fill.
+type Victim struct {
+	Valid bool   // a valid line was evicted
+	Dirty bool   // it requires a writeback
+	Addr  uint64 // line-aligned address of the evicted line
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit    bool
+	Victim Victim // meaningful only on misses
+}
+
+// New validates cfg and builds the cache.
+func New(cfg Config) (*Cache, error) {
+	switch {
+	case cfg.SizeBytes <= 0 || cfg.Assoc <= 0 || cfg.LineBytes <= 0:
+		return nil, fmt.Errorf("cache %q: size, assoc, line must be positive", cfg.Name)
+	case cfg.SizeBytes%(cfg.Assoc*cfg.LineBytes) != 0:
+		return nil, fmt.Errorf("cache %q: size %d not divisible by assoc*line %d",
+			cfg.Name, cfg.SizeBytes, cfg.Assoc*cfg.LineBytes)
+	case cfg.LineBytes&(cfg.LineBytes-1) != 0:
+		return nil, fmt.Errorf("cache %q: line size %d must be a power of two", cfg.Name, cfg.LineBytes)
+	}
+	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache %q: set count %d must be a power of two", cfg.Name, nsets)
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineBits++
+	}
+	c.sets = make([][]way, nsets)
+	backing := make([]way, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears statistics but keeps cache contents (used between the
+// warmup and measurement phases of sampled simulation).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.stats = Stats{}
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	line := addr >> c.lineBits
+	return line & c.setMask, line // full line address as tag (simple, unambiguous)
+}
+
+// Access performs a read (write=false) or write (write=true) of the line
+// containing addr. On a miss the line is filled immediately (tag-only
+// model) and the victim, if any, is reported so the caller can issue the
+// writeback traffic.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.stats.Accesses++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			if write {
+				ways[i].dirty = true
+			}
+			c.touch(ways, i)
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Fill: evict the LRU way (last slot), insert as MRU.
+	vict := ways[len(ways)-1]
+	res := Result{}
+	if vict.valid {
+		res.Victim = Victim{Valid: true, Dirty: vict.dirty, Addr: vict.tag << c.lineBits}
+		if vict.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = way{tag: tag, valid: true, dirty: write}
+	return res
+}
+
+// Fill installs the line containing addr without counting statistics,
+// returning the victim if one was evicted. Used for prefetch fills, whose
+// hits/misses must not pollute demand-access statistics.
+func (c *Cache) Fill(addr uint64) Victim {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.touch(ways, i)
+			return Victim{}
+		}
+	}
+	vict := ways[len(ways)-1]
+	res := Victim{}
+	if vict.valid {
+		res = Victim{Valid: true, Dirty: vict.dirty, Addr: vict.tag << c.lineBits}
+	}
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = way{tag: tag, valid: true}
+	return res
+}
+
+// Probe reports whether the line containing addr is present, without
+// changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if present, returning whether
+// it was dirty (the caller owns the writeback).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			d := ways[i].dirty
+			copy(ways[i:], ways[i+1:])
+			ways[len(ways)-1] = way{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// touch moves ways[i] to the MRU position.
+func (c *Cache) touch(ways []way, i int) {
+	if i == 0 {
+		return
+	}
+	w := ways[i]
+	copy(ways[1:i+1], ways[:i])
+	ways[0] = w
+}
+
+// MSHR models a file of miss-status holding registers: it bounds the
+// number of distinct outstanding miss lines and merges secondary misses.
+type MSHR struct {
+	capacity int
+	pending  map[uint64]int // line address -> merged request count
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR(entries int) *MSHR {
+	return &MSHR{capacity: entries, pending: make(map[uint64]int, entries)}
+}
+
+// Allocate registers a miss on lineAddr. It returns (isPrimary, ok):
+// ok=false means the file is full and the miss must stall; isPrimary=true
+// means this is the first miss to the line and a request must be issued
+// downstream (secondary misses merge onto the primary).
+func (m *MSHR) Allocate(lineAddr uint64) (isPrimary, ok bool) {
+	if n, exists := m.pending[lineAddr]; exists {
+		m.pending[lineAddr] = n + 1
+		return false, true
+	}
+	if len(m.pending) >= m.capacity {
+		return false, false
+	}
+	m.pending[lineAddr] = 1
+	return true, true
+}
+
+// Complete releases all requests merged on lineAddr and returns how many
+// there were (0 if the line was not pending).
+func (m *MSHR) Complete(lineAddr uint64) int {
+	n := m.pending[lineAddr]
+	delete(m.pending, lineAddr)
+	return n
+}
+
+// InFlight returns the number of distinct outstanding lines.
+func (m *MSHR) InFlight() int { return len(m.pending) }
+
+// Full reports whether a new primary miss would stall.
+func (m *MSHR) Full() bool { return len(m.pending) >= m.capacity }
+
+// Reset clears all entries.
+func (m *MSHR) Reset() { clear(m.pending) }
+
+// LineState is the externally visible state of one cache way, used by
+// checkpointing.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// Snapshot captures the full tag-array state (sets in MRU-to-LRU order).
+func (c *Cache) Snapshot() [][]LineState {
+	out := make([][]LineState, len(c.sets))
+	for i, ways := range c.sets {
+		row := make([]LineState, len(ways))
+		for j, w := range ways {
+			row[j] = LineState{Tag: w.tag, Valid: w.valid, Dirty: w.dirty}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// RestoreSnapshot loads a snapshot captured from an identically configured
+// cache. Statistics are left untouched.
+func (c *Cache) RestoreSnapshot(snap [][]LineState) error {
+	if len(snap) != len(c.sets) {
+		return fmt.Errorf("cache %q: snapshot has %d sets, want %d", c.cfg.Name, len(snap), len(c.sets))
+	}
+	for i, row := range snap {
+		if len(row) != len(c.sets[i]) {
+			return fmt.Errorf("cache %q: set %d has %d ways, want %d", c.cfg.Name, i, len(row), len(c.sets[i]))
+		}
+		for j, ls := range row {
+			c.sets[i][j] = way{tag: ls.Tag, valid: ls.Valid, dirty: ls.Dirty}
+		}
+	}
+	return nil
+}
+
+// SetStats overwrites the statistics counters (checkpoint restore).
+func (c *Cache) SetStats(s Stats) { c.stats = s }

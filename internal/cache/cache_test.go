@@ -1,0 +1,341 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() Config {
+	// 4 sets x 2 ways x 64B lines = 512B: easy to reason about.
+	return Config{Name: "tiny", SizeBytes: 512, Assoc: 2, LineBytes: 64}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := MustNew(tiny())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access should miss")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access should hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSameLineDifferentOffsetsHit(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x1000, false)
+	if r := c.Access(0x103F, false); !r.Hit {
+		t.Fatal("same 64B line should hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(tiny())
+	// Set 0 holds lines with line-addr % 4 == 0: 0x000, 0x400, 0x800.
+	c.Access(0x000, false)
+	c.Access(0x400, false)
+	c.Access(0x000, false) // touch 0x000: LRU is now 0x400
+	r := c.Access(0x800, false)
+	if r.Hit {
+		t.Fatal("conflict miss expected")
+	}
+	if !r.Victim.Valid || r.Victim.Addr != 0x400 {
+		t.Fatalf("victim = %+v, want 0x400 (the LRU line)", r.Victim)
+	}
+	if !c.Probe(0x000) {
+		t.Fatal("0x000 was MRU and must survive")
+	}
+	if c.Probe(0x400) {
+		t.Fatal("0x400 must have been evicted")
+	}
+}
+
+func TestDirtyEvictionReportsWriteback(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, true) // dirty
+	c.Access(0x400, false)
+	r := c.Access(0x800, false) // evicts 0x000
+	if !r.Victim.Valid || !r.Victim.Dirty || r.Victim.Addr != 0x000 {
+		t.Fatalf("victim = %+v, want dirty 0x000", r.Victim)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, false)
+	c.Access(0x400, false)
+	r := c.Access(0x800, false)
+	if r.Victim.Dirty {
+		t.Fatal("clean line should not need writeback")
+	}
+	if c.Stats().Writebacks != 0 {
+		t.Fatal("no writebacks expected")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, false) // clean fill
+	c.Access(0x000, true)  // write hit -> dirty
+	c.Access(0x400, false)
+	r := c.Access(0x800, false)
+	if !r.Victim.Dirty {
+		t.Fatal("write hit should have dirtied the line")
+	}
+}
+
+func TestProbeDoesNotPerturbLRU(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, false)
+	c.Access(0x400, false) // LRU: 0x000
+	c.Probe(0x000)         // must NOT touch
+	r := c.Access(0x800, false)
+	if r.Victim.Addr != 0x000 {
+		t.Fatalf("probe perturbed LRU: victim %+v", r.Victim)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, true)
+	present, dirty := c.Invalidate(0x000)
+	if !present || !dirty {
+		t.Fatalf("invalidate = %v,%v, want true,true", present, dirty)
+	}
+	if c.Probe(0x000) {
+		t.Fatal("line should be gone")
+	}
+	present, _ = c.Invalidate(0x000)
+	if present {
+		t.Fatal("double invalidate should report absent")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, false)
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats should be cleared")
+	}
+	if r := c.Access(0x000, false); !r.Hit {
+		t.Fatal("contents must survive ResetStats")
+	}
+}
+
+func TestResetClearsContents(t *testing.T) {
+	c := MustNew(tiny())
+	c.Access(0x000, false)
+	c.Reset()
+	if r := c.Access(0x000, false); r.Hit {
+		t.Fatal("Reset should invalidate lines")
+	}
+}
+
+func TestCapacityWorkingSet(t *testing.T) {
+	// A working set that fits the cache has 100% hit rate after warmup; one
+	// that doubles it thrashes (with LRU and a cyclic pattern, ~0%).
+	cfg := L1Config("l1d")
+	c := MustNew(cfg)
+	lines := cfg.SizeBytes / cfg.LineBytes
+	warm := func(n int) {
+		for i := 0; i < n; i++ {
+			c.Access(uint64(i*cfg.LineBytes), false)
+		}
+	}
+	warm(lines)
+	c.ResetStats()
+	warm(lines)
+	if hr := c.Stats().HitRate(); hr != 1.0 {
+		t.Fatalf("fitting working set hit rate = %v, want 1.0", hr)
+	}
+	c.Reset()
+	for pass := 0; pass < 3; pass++ {
+		warm(2 * lines)
+	}
+	c.ResetStats()
+	warm(2 * lines)
+	if hr := c.Stats().HitRate(); hr > 0.01 {
+		t.Fatalf("thrashing working set hit rate = %v, want ~0", hr)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	c := MustNew(L1Config("l1d"))
+	addr := uint64(1)
+	for i := 0; i < 10000; i++ {
+		addr = addr*2862933555777941757 + 3037000493
+		c.Access(addr%(1<<20), i%3 == 0)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("hits+misses != accesses: %+v", st)
+	}
+	if st.Writebacks > st.Misses {
+		t.Fatalf("writebacks cannot exceed misses: %+v", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Assoc: 2, LineBytes: 64},
+		{SizeBytes: 512, Assoc: 0, LineBytes: 64},
+		{SizeBytes: 512, Assoc: 2, LineBytes: 0},
+		{SizeBytes: 500, Assoc: 2, LineBytes: 64}, // not divisible
+		{SizeBytes: 512, Assoc: 2, LineBytes: 96}, // non-power-of-two line
+		{SizeBytes: 384, Assoc: 2, LineBytes: 64}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	l1 := MustNew(L1Config("l1i"))
+	if got := l1.Config().SizeBytes; got != 32<<10 {
+		t.Fatalf("L1 size = %d", got)
+	}
+	if got := l1.Config().Assoc; got != 2 {
+		t.Fatalf("L1 assoc = %d", got)
+	}
+	bank := MustNew(LLCBankConfig(0))
+	if got := bank.Config().SizeBytes * 4; got != 4<<20 {
+		t.Fatalf("4 banks = %d, want 4MB", got)
+	}
+	if got := bank.Config().Assoc; got != 16 {
+		t.Fatalf("LLC assoc = %d", got)
+	}
+}
+
+// refModel is an obviously-correct LRU cache for cross-checking.
+type refModel struct {
+	assoc int
+	sets  map[uint64][]uint64 // set -> line addrs, MRU first
+	mask  uint64
+	shift uint
+}
+
+func newRef(cfg Config) *refModel {
+	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	shift := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	return &refModel{assoc: cfg.Assoc, sets: map[uint64][]uint64{}, mask: uint64(nsets - 1), shift: shift}
+}
+
+func (r *refModel) access(addr uint64) bool {
+	line := addr >> r.shift
+	set := line & r.mask
+	s := r.sets[set]
+	for i, l := range s {
+		if l == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	s = append([]uint64{line}, s...)
+	if len(s) > r.assoc {
+		s = s[:r.assoc]
+	}
+	r.sets[set] = s
+	return false
+}
+
+func TestQuickMatchesReferenceLRU(t *testing.T) {
+	cfg := tiny()
+	c := MustNew(cfg)
+	ref := newRef(cfg)
+	err := quick.Check(func(addrs []uint16) bool {
+		for _, a := range addrs {
+			addr := uint64(a)
+			if c.Access(addr, false).Hit != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStatsInvariant(t *testing.T) {
+	c := MustNew(tiny())
+	err := quick.Check(func(addrs []uint32, writes []bool) bool {
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint64(a), w)
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses && st.Writebacks <= st.Misses
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMergeAndLimit(t *testing.T) {
+	m := NewMSHR(2)
+	p, ok := m.Allocate(0x100)
+	if !p || !ok {
+		t.Fatal("first miss should be primary")
+	}
+	p, ok = m.Allocate(0x100)
+	if p || !ok {
+		t.Fatal("secondary miss should merge, not issue")
+	}
+	if _, ok = m.Allocate(0x200); !ok {
+		t.Fatal("second entry should fit")
+	}
+	if _, ok = m.Allocate(0x300); ok {
+		t.Fatal("file is full, third line should stall")
+	}
+	if !m.Full() {
+		t.Fatal("Full should report true")
+	}
+	if n := m.Complete(0x100); n != 2 {
+		t.Fatalf("merged count = %d, want 2", n)
+	}
+	if m.InFlight() != 1 {
+		t.Fatalf("in flight = %d", m.InFlight())
+	}
+	if _, ok = m.Allocate(0x300); !ok {
+		t.Fatal("space freed, allocation should succeed")
+	}
+	if n := m.Complete(0x999); n != 0 {
+		t.Fatalf("completing absent line = %d, want 0", n)
+	}
+	m.Reset()
+	if m.InFlight() != 0 {
+		t.Fatal("Reset should clear entries")
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := MustNew(L1Config("l1d"))
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	c := MustNew(LLCBankConfig(0))
+	addr := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr = addr*2862933555777941757 + 3037000493
+		c.Access(addr%(1<<28), false)
+	}
+}

@@ -1,0 +1,63 @@
+package cache
+
+import "testing"
+
+// FuzzAccessMatchesReference cross-checks the cache against the map-based
+// reference LRU model on arbitrary access strings.
+func FuzzAccessMatchesReference(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1}, []byte{0})
+	f.Add([]byte{255, 0, 255, 0}, []byte{1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, addrs []byte, writes []byte) {
+		cfg := Config{Name: "fuzz", SizeBytes: 512, Assoc: 2, LineBytes: 64}
+		c := MustNew(cfg)
+		ref := newRef(cfg)
+		for i, a := range addrs {
+			addr := uint64(a) << 4 // spread across sets and lines
+			w := i < len(writes) && writes[i]&1 == 1
+			got := c.Access(addr, w).Hit
+			want := ref.access(addr)
+			if got != want {
+				t.Fatalf("access %d (addr %x): cache %v, reference %v", i, addr, got, want)
+			}
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Accesses {
+			t.Fatalf("stats inconsistent: %+v", st)
+		}
+	})
+}
+
+// FuzzMSHRInvariants checks the miss-file bookkeeping under arbitrary
+// allocate/complete interleavings.
+func FuzzMSHRInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2}, []byte{0, 1})
+	f.Fuzz(func(t *testing.T, allocs []byte, completes []byte) {
+		m := NewMSHR(4)
+		live := map[uint64]int{}
+		for _, a := range allocs {
+			line := uint64(a % 16)
+			primary, ok := m.Allocate(line)
+			if !ok {
+				if len(live) < 4 {
+					t.Fatalf("refused allocation with %d/4 entries", len(live))
+				}
+				continue
+			}
+			if primary != (live[line] == 0) {
+				t.Fatalf("primary flag wrong for line %d", line)
+			}
+			live[line]++
+		}
+		for _, cByte := range completes {
+			line := uint64(cByte % 16)
+			n := m.Complete(line)
+			if n != live[line] {
+				t.Fatalf("completed %d merged requests, tracked %d", n, live[line])
+			}
+			delete(live, line)
+		}
+		if m.InFlight() != len(live) {
+			t.Fatalf("in flight %d, tracked %d", m.InFlight(), len(live))
+		}
+	})
+}

@@ -1,0 +1,283 @@
+// Package core is the near-threshold server design-space explorer — the
+// paper's primary contribution (Sec. V). It drives the full-system cluster
+// simulator across the core DVFS range, resolves each frequency to an
+// FD-SOI operating point (optionally with per-point optimal forward body
+// bias), attaches the platform power models at the paper's three scopes
+// (cores / SoC / server), evaluates QoS feasibility, and locates the
+// optimal-efficiency operating points:
+//
+//   - cores-only efficiency is maximized at the lowest functional
+//     voltage/frequency point (Figs. 3a, 4a);
+//   - SoC efficiency peaks near 1GHz because the uncore does not scale
+//     with core DVFS (Figs. 3b, 4b);
+//   - server efficiency peaks near 1-1.2GHz because DRAM background power
+//     is constant (Figs. 3c, 4c);
+//
+// all while scale-out tail-latency QoS holds down to 200-500MHz (Fig. 2)
+// and virtualized workloads stay within their 2x/4x degradation bounds.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ntcsim/internal/platform"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/sampling"
+	"ntcsim/internal/sim"
+	"ntcsim/internal/tech"
+	"ntcsim/internal/thermal"
+	"ntcsim/internal/workload"
+)
+
+// Explorer runs design-space sweeps on one platform.
+type Explorer struct {
+	Platform *platform.Spec
+	Sim      sim.Config
+	// SamplingFor returns the SMARTS configuration per workload.
+	SamplingFor func(p *workload.Profile) sampling.Config
+	// WarmInstr is the per-core functional warmup before the first sample
+	// (cache/predictor state; the paper launches from warmed checkpoints).
+	WarmInstr uint64
+	// SettleCycles are run after each DVFS transition before sampling.
+	SettleCycles int64
+	// Vbb is the active body bias when UseOptimalBias is false.
+	Vbb float64
+	// UseOptimalBias selects the power-minimizing forward body bias per
+	// operating point (paper Sec. II-A item 1).
+	UseOptimalBias bool
+	// Activity is the core activity factor during load (the paper
+	// evaluates worst-case, fully loaded servers).
+	Activity float64
+	// CheckpointDir, when set, caches warmed-cluster checkpoints per
+	// workload (the SMARTS warmed-checkpoint methodology): the first sweep
+	// of a workload pays the warmup and saves `<dir>/<workload>.ckpt`;
+	// later sweeps restore it and start measuring immediately.
+	CheckpointDir string
+	// Thermal, when set, couples core leakage to the junction temperature
+	// via the electro-thermal fixed point instead of the technology's
+	// calibration temperature. Near threshold the correction is tiny; at
+	// the top of the DVFS range it raises core power by several percent.
+	Thermal *thermal.Model
+}
+
+// NewExplorer returns an explorer for the paper's default platform with
+// the reduced-cost sampling configuration (use PaperFidelity for the full
+// SMARTS windows).
+func NewExplorer() (*Explorer, error) {
+	spec, err := platform.Default()
+	if err != nil {
+		return nil, err
+	}
+	return &Explorer{
+		Platform:     spec,
+		Sim:          sim.DefaultConfig(),
+		SamplingFor:  func(*workload.Profile) sampling.Config { return sampling.QuickConfig() },
+		WarmInstr:    2_000_000,
+		SettleCycles: 20_000,
+		Activity:     1.0,
+	}, nil
+}
+
+// PaperFidelity switches the explorer to the paper's full sampling windows
+// (100K/50K cycles, 2M/400K for Data Serving, 95%/2% termination) and a
+// longer initial warmup. Sweeps take correspondingly longer.
+func (e *Explorer) PaperFidelity() {
+	e.SamplingFor = sampling.PaperConfig
+	e.WarmInstr = 8_000_000
+	e.SettleCycles = 100_000
+}
+
+// Point is one evaluated operating point of a sweep.
+type Point struct {
+	FreqHz float64
+	Op     tech.OperatingPoint
+
+	// UIPSChip is chip-level user instructions per second (clusters are
+	// homogeneous; the simulated cluster is scaled by the cluster count,
+	// mirroring the paper's methodology).
+	UIPSChip float64
+	Power    platform.ServerPower
+
+	// Efficiencies in UIPS per watt at the three scopes (Figs. 3, 4).
+	EffCores  float64
+	EffSoC    float64
+	EffServer float64
+
+	// Metric is the QoS figure: normalized 99th-percentile latency for
+	// scale-out workloads (Fig. 2), execution-time degradation for VMs.
+	Metric float64
+	QoSOK  bool
+
+	Samples   int
+	Converged bool
+	RelErr    float64
+}
+
+// Sweep is a full frequency sweep of one workload.
+type Sweep struct {
+	Workload     *workload.Profile
+	Requirement  qos.Requirement
+	BaselineUIPS float64 // chip UIPS at the 2GHz baseline
+	Points       []Point // ascending frequency
+}
+
+// Sweep runs the workload across the given core frequencies (Hz) and
+// returns the evaluated points in ascending frequency order. The cluster
+// is warmed once and retargeted across frequencies via DVFS transitions,
+// so microarchitectural state carries over exactly as on real hardware.
+func (e *Explorer) Sweep(p *workload.Profile, freqsHz []float64) (*Sweep, error) {
+	if len(freqsHz) == 0 {
+		return nil, fmt.Errorf("core: empty frequency list")
+	}
+	freqs := append([]float64(nil), freqsHz...)
+	sort.Float64s(freqs)
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("core: non-positive frequency %v", f)
+		}
+	}
+
+	cl, err := e.warmedCluster(p)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := e.SamplingFor(p)
+	baseRes, err := sampling.Run(cl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	clusters := float64(e.Platform.Clusters)
+	sw := &Sweep{
+		Workload:     p,
+		Requirement:  qos.NewRequirement(p),
+		BaselineUIPS: baseRes.MeanUIPS() * clusters,
+	}
+
+	// Sweep top-down so each transition is a small step from warmed state.
+	for i := len(freqs) - 1; i >= 0; i-- {
+		f := freqs[i]
+		cl.SetFrequency(f)
+		cl.Run(e.SettleCycles)
+		res, err := sampling.Run(cl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := e.evaluate(p, sw, f, res)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	// Reverse into ascending frequency order.
+	for i, j := 0, len(sw.Points)-1; i < j; i, j = i+1, j-1 {
+		sw.Points[i], sw.Points[j] = sw.Points[j], sw.Points[i]
+	}
+	return sw, nil
+}
+
+// evaluate attaches operating point, power and QoS to one sampled result.
+func (e *Explorer) evaluate(p *workload.Profile, sw *Sweep, f float64, res sampling.Result) (Point, error) {
+	spec := e.Platform
+	var op tech.OperatingPoint
+	var err error
+	if e.UseOptimalBias {
+		op, _, err = spec.Core.OptimalBias(f, e.Activity)
+	} else {
+		op, err = spec.Tech.OperatingPointFor(f, e.Vbb)
+	}
+	if err != nil {
+		return Point{}, fmt.Errorf("core: %.0f MHz: %w", f/1e6, err)
+	}
+
+	clusters := float64(spec.Clusters)
+	uipsChip := res.MeanUIPS() * clusters
+
+	// Per-cluster uncore activity rates come straight from the simulation;
+	// memory bandwidth is aggregated across clusters.
+	pw := platform.ServerPower{
+		CoresW:  spec.CorePowerW(op, e.Activity),
+		UncoreW: spec.UncorePowerW(res.LLCReadRate(), res.LLCWriteRate(), res.LLCAccessRate()),
+		MemoryW: spec.MemoryPowerW(res.ReadBandwidth()*clusters, res.WriteBandwidth()*clusters),
+	}
+	if e.Thermal != nil {
+		eq := thermal.SolveEquilibrium(*e.Thermal, spec.Core, op, e.Activity,
+			spec.TotalCores(), pw.UncoreW)
+		if !eq.Runaway {
+			pw.CoresW = eq.ChipPowerW - pw.UncoreW
+		}
+	}
+
+	pt := Point{
+		FreqHz:    f,
+		Op:        op,
+		UIPSChip:  uipsChip,
+		Power:     pw,
+		Samples:   len(res.Samples),
+		Converged: res.Converged,
+		RelErr:    res.RelErr(0.95),
+	}
+	if pw.CoresW > 0 {
+		pt.EffCores = uipsChip / pw.CoresW
+	}
+	if pw.SoCW() > 0 {
+		pt.EffSoC = uipsChip / pw.SoCW()
+	}
+	if pw.TotalW() > 0 {
+		pt.EffServer = uipsChip / pw.TotalW()
+	}
+	pt.Metric = sw.Requirement.Metric(sw.BaselineUIPS, uipsChip)
+	pt.QoSOK = sw.Requirement.Satisfied(sw.BaselineUIPS, uipsChip)
+	return pt, nil
+}
+
+// Optima summarizes a sweep the way the paper's Sec. V does.
+type Optima struct {
+	// MinFeasibleHz is the lowest swept frequency that still meets QoS
+	// (Sec. V-A: 200-500MHz for scale-out apps).
+	MinFeasibleHz float64
+	// Best points per scope (Sec. V-B: cores at the voltage floor, SoC at
+	// ~1GHz, server at ~1-1.2GHz).
+	BestCores  Point
+	BestSoC    Point
+	BestServer Point
+	// QoSBestServer is the most server-efficient point that also meets
+	// QoS — the operating point the paper ultimately argues for.
+	QoSBestServer Point
+	HasFeasible   bool
+}
+
+// Optima scans the sweep for the optimal points.
+func (s *Sweep) Optima() Optima {
+	var o Optima
+	for _, pt := range s.Points {
+		if pt.EffCores > o.BestCores.EffCores {
+			o.BestCores = pt
+		}
+		if pt.EffSoC > o.BestSoC.EffSoC {
+			o.BestSoC = pt
+		}
+		if pt.EffServer > o.BestServer.EffServer {
+			o.BestServer = pt
+		}
+		if pt.QoSOK {
+			if !o.HasFeasible || pt.FreqHz < o.MinFeasibleHz {
+				o.MinFeasibleHz = pt.FreqHz
+				o.HasFeasible = true
+			}
+			if pt.EffServer > o.QoSBestServer.EffServer {
+				o.QoSBestServer = pt
+			}
+		}
+	}
+	return o
+}
+
+// DefaultFrequencies returns the paper's sweep grid: 100MHz to 2GHz.
+func DefaultFrequencies() []float64 {
+	return []float64{
+		0.1e9, 0.2e9, 0.3e9, 0.4e9, 0.5e9, 0.7e9,
+		1.0e9, 1.2e9, 1.5e9, 1.75e9, 2.0e9,
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"ntcsim/internal/dram"
+	"ntcsim/internal/power"
+	"ntcsim/internal/tech"
+)
+
+// TechPoint is one sample of a Fig. 1 curve: the minimum supply voltage
+// that sustains a frequency, and the resulting chip-level core power.
+type TechPoint struct {
+	FreqHz     float64
+	Vdd        float64
+	Vbb        float64
+	ChipPowerW float64
+	Reachable  bool
+}
+
+// TechCurve is one technology variant of Fig. 1.
+type TechCurve struct {
+	Label  string
+	Points []TechPoint
+}
+
+// Fig1Curves reproduces Figure 1: A57 voltage and chip power versus
+// frequency for 28nm bulk, FD-SOI, and FD-SOI with forward body bias (the
+// FBB curve picks the power-optimal bias per point, the paper's "best
+// energy efficiency point for a given performance target"). cores is the
+// chip core count (36); freqsHz is the sweep grid.
+func Fig1Curves(cores int, freqsHz []float64) []TechCurve {
+	type variant struct {
+		label string
+		model *power.CoreModel
+		opt   bool
+	}
+	bulk := power.NewA57(tech.Bulk28())
+	fdsoi := power.NewA57(tech.FDSOI28())
+	variants := []variant{
+		{"bulk", bulk, false},
+		{"fdsoi", fdsoi, false},
+		{"fdsoi+fbb", fdsoi, true},
+	}
+	curves := make([]TechCurve, 0, len(variants))
+	for _, v := range variants {
+		c := TechCurve{Label: v.label}
+		for _, f := range freqsHz {
+			var (
+				op  tech.OperatingPoint
+				w   float64
+				err error
+			)
+			if v.opt {
+				op, w, err = v.model.OptimalBias(f, 1.0)
+			} else {
+				op, w, err = v.model.PointAt(f, 0, 1.0)
+			}
+			pt := TechPoint{FreqHz: f}
+			if err == nil {
+				pt.Vdd = op.Vdd
+				pt.Vbb = op.Vbb
+				pt.ChipPowerW = float64(cores) * w
+				pt.Reachable = true
+			}
+			c.Points = append(c.Points, pt)
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// Fig1Frequencies returns the Fig. 1 x-axis grid (0.1 to 3.5 GHz).
+func Fig1Frequencies() []float64 {
+	var fs []float64
+	for f := 0.1e9; f <= 3.5e9+1; f += 0.1e9 {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// TableI returns the paper's Table I — the energy figures of an 8x 4Gbit
+// DDR4 rank at the 1.6GHz memory clock — as derived from the Micron-style
+// current parameters.
+func TableI() dram.RankEnergy {
+	return dram.DDR4Power().Energies(dram.DDR4(), 8)
+}

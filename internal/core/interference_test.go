@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"ntcsim/internal/workload"
+)
+
+func TestInterferenceBubbleHurtsVictim(t *testing.T) {
+	e := testExplorer(t)
+	rep, err := e.Interference(workload.WebSearch(), workload.Bubble(), 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Slowdown < 1.2 {
+		t.Fatalf("bubble co-runner slowdown = %.2fx, expected substantial (>1.2x)", rep.Slowdown)
+	}
+	if rep.NormalizedMixed <= rep.NormalizedSolo {
+		t.Fatal("interference must inflate the normalized tail latency")
+	}
+	if rep.Victim != "web-search" || rep.Aggressor != "bubble" {
+		t.Fatalf("labels: %+v", rep)
+	}
+}
+
+func TestInterferenceShrinksAtNearThreshold(t *testing.T) {
+	// At NT frequencies each core issues memory traffic more slowly, so
+	// shared-resource contention — the paper's co-scheduling blocker —
+	// relaxes. This is the quantitative basis for the discussion section's
+	// consolidation-at-NT direction.
+	e := testExplorer(t)
+	high, err := e.Interference(workload.WebSearch(), workload.Bubble(), 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := e.Interference(workload.WebSearch(), workload.Bubble(), 0.3e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Slowdown >= high.Slowdown {
+		t.Fatalf("NT interference (%.2fx) should be milder than 2GHz (%.2fx)",
+			low.Slowdown, high.Slowdown)
+	}
+}
+
+func TestInterferenceCanViolateQoSNearTheBoundary(t *testing.T) {
+	// A victim running right at its QoS-feasible frequency is tipped over
+	// the limit by a co-runner — Sec. III-B1's argument in one number.
+	e := testExplorer(t)
+	// Web-search crosses QoS around 230MHz (Fig. 2); at 260MHz the solo
+	// run is feasible with little margin.
+	rep, err := e.Interference(workload.WebSearch(), workload.Bubble(), 0.26e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NormalizedSolo > 1 {
+		t.Skipf("solo run infeasible at this frequency (%.2f), boundary moved", rep.NormalizedSolo)
+	}
+	if !rep.QoSViolated && rep.NormalizedMixed <= 1 {
+		// Allow some sampling slack but the mixed run must at least be
+		// pushed close to the boundary.
+		if rep.NormalizedMixed < rep.NormalizedSolo*1.03 {
+			t.Fatalf("interference had no effect near the boundary: %+v", rep)
+		}
+	}
+}
+
+func TestInterferenceRejectsVMVictim(t *testing.T) {
+	e := testExplorer(t)
+	if _, err := e.Interference(workload.VMLowMem(), workload.Bubble(), 1e9); err == nil {
+		t.Fatal("VM victims have no tail-latency QoS; should be rejected")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Energy-delay metrics over a sweep. UIPS/W (the paper's metric) weighs
+// energy and performance equally; EDP and ED2P weigh delay more heavily,
+// shifting the optimum toward higher frequencies — a standard DSE view the
+// explorer exposes alongside Figs. 3/4.
+
+// EDP returns the energy-delay product per user instruction at a point
+// (J*s per instruction^2 scale factors cancel in comparisons): power /
+// UIPS^2. Lower is better.
+func (p Point) EDP() float64 {
+	if p.UIPSChip <= 0 {
+		return 0
+	}
+	return p.Power.TotalW() / (p.UIPSChip * p.UIPSChip)
+}
+
+// ED2P returns the energy-delay-squared product: power / UIPS^3.
+// Lower is better.
+func (p Point) ED2P() float64 {
+	if p.UIPSChip <= 0 {
+		return 0
+	}
+	return p.Power.TotalW() / (p.UIPSChip * p.UIPSChip * p.UIPSChip)
+}
+
+// EnergyPerInstruction returns server energy per user instruction in
+// joules. Lower is better; its minimum is the UIPS/W maximum.
+func (p Point) EnergyPerInstruction() float64 {
+	if p.UIPSChip <= 0 {
+		return 0
+	}
+	return p.Power.TotalW() / p.UIPSChip
+}
+
+// MetricOptima locates the minimum-EDP and minimum-ED2P points of a sweep.
+type MetricOptima struct {
+	MinEDP  Point
+	MinED2P Point
+}
+
+// EnergyDelayOptima scans the sweep for the energy-delay optima.
+func (s *Sweep) EnergyDelayOptima() MetricOptima {
+	var o MetricOptima
+	first := true
+	for _, pt := range s.Points {
+		if pt.UIPSChip <= 0 {
+			continue
+		}
+		if first {
+			o.MinEDP, o.MinED2P = pt, pt
+			first = false
+			continue
+		}
+		if pt.EDP() < o.MinEDP.EDP() {
+			o.MinEDP = pt
+		}
+		if pt.ED2P() < o.MinED2P.ED2P() {
+			o.MinED2P = pt
+		}
+	}
+	return o
+}
+
+// ParetoFrontier returns the points not dominated in (throughput up, power
+// down): a point is kept if no other point has both higher UIPS and lower
+// total power. Points arrive and return in ascending frequency order.
+func (s *Sweep) ParetoFrontier() []Point {
+	var out []Point
+	for _, p := range s.Points {
+		dominated := false
+		for _, q := range s.Points {
+			if q.UIPSChip > p.UIPSChip && q.Power.TotalW() < p.Power.TotalW() {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"ntcsim/internal/platform"
+	"ntcsim/internal/workload"
+)
+
+// syntheticSweep builds a sweep from closed-form points (UIPS sublinear in
+// f, power superlinear) so metric behavior is analytically checkable.
+func syntheticSweep() *Sweep {
+	s := &Sweep{Workload: workload.WebSearch()}
+	for _, f := range []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9} {
+		ghz := f / 1e9
+		uips := 20e9 * ghz / (0.5 + ghz) // saturating throughput
+		pw := platform.ServerPower{
+			CoresW:  8 * ghz * ghz * ghz, // cubic core power
+			UncoreW: 23,
+			MemoryW: 15,
+		}
+		s.Points = append(s.Points, Point{FreqHz: f, UIPSChip: uips, Power: pw})
+	}
+	return s
+}
+
+func TestEnergyDelayOptimaOrdering(t *testing.T) {
+	s := syntheticSweep()
+	var bestEff Point
+	for _, p := range s.Points {
+		if eff := p.UIPSChip / p.Power.TotalW(); eff > bestEff.UIPSChip/maxf(bestEff.Power.TotalW(), 1e-9) {
+			bestEff = p
+		}
+	}
+	o := s.EnergyDelayOptima()
+	// Delay-weighted metrics must not sit below the efficiency optimum.
+	if o.MinEDP.FreqHz < bestEff.FreqHz {
+		t.Fatalf("EDP optimum %.1fGHz below efficiency optimum %.1fGHz",
+			o.MinEDP.FreqHz/1e9, bestEff.FreqHz/1e9)
+	}
+	if o.MinED2P.FreqHz < o.MinEDP.FreqHz {
+		t.Fatalf("ED2P optimum %.1fGHz below EDP optimum %.1fGHz",
+			o.MinED2P.FreqHz/1e9, o.MinEDP.FreqHz/1e9)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestMetricsPositive(t *testing.T) {
+	s := syntheticSweep()
+	for _, p := range s.Points {
+		if p.EDP() <= 0 || p.ED2P() <= 0 || p.EnergyPerInstruction() <= 0 {
+			t.Fatalf("non-positive metric at %.1fGHz", p.FreqHz/1e9)
+		}
+	}
+	var zero Point
+	if zero.EDP() != 0 || zero.ED2P() != 0 || zero.EnergyPerInstruction() != 0 {
+		t.Fatal("zero-throughput point should report zero metrics")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	s := syntheticSweep()
+	// With monotone UIPS(f) and power(f), no point is dominated: all are
+	// Pareto-optimal.
+	if got := len(s.ParetoFrontier()); got != len(s.Points) {
+		t.Fatalf("monotone sweep frontier = %d points, want all %d", got, len(s.Points))
+	}
+	// Insert a dominated point: same power as the 1GHz point, less UIPS.
+	bad := s.Points[2]
+	bad.UIPSChip *= 0.5
+	bad.FreqHz = 0.9e9
+	s.Points = append(s.Points, bad)
+	front := s.ParetoFrontier()
+	for _, p := range front {
+		if p.FreqHz == 0.9e9 {
+			t.Fatal("dominated point must be excluded from the frontier")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ntcsim/internal/qos"
+	"ntcsim/internal/sim"
+	"ntcsim/internal/workload"
+)
+
+// warmedCluster returns a cluster for profile p at the 2GHz baseline
+// frequency with warmed microarchitectural state, restoring a cached
+// checkpoint when CheckpointDir is configured and one exists, and saving
+// one after a fresh warmup.
+func (e *Explorer) warmedCluster(p *workload.Profile) (*sim.Cluster, error) {
+	path := ""
+	if e.CheckpointDir != "" {
+		path = filepath.Join(e.CheckpointDir,
+			fmt.Sprintf("%s-%x-%d.ckpt", p.Name, e.Sim.Seed, e.WarmInstr))
+		if cl, err := loadClusterCheckpoint(path); err == nil {
+			return cl, nil
+		}
+		// Missing or stale checkpoint: fall through to a fresh warmup.
+	}
+
+	cl, err := sim.NewCluster(e.Sim, p, qos.BaselineFreqHz)
+	if err != nil {
+		return nil, err
+	}
+	cl.FastForward(e.WarmInstr)
+	cl.Run(e.SettleCycles)
+
+	if path != "" {
+		if err := saveClusterCheckpoint(cl, path); err != nil {
+			return nil, fmt.Errorf("core: saving checkpoint: %w", err)
+		}
+	}
+	return cl, nil
+}
+
+func loadClusterCheckpoint(path string) (*sim.Cluster, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := sim.LoadCheckpoint(f)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RestoreCluster(ck)
+}
+
+func saveClusterCheckpoint(cl *sim.Cluster, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cl.Checkpoint().Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

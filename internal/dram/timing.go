@@ -1,0 +1,100 @@
+// Package dram is a cycle-level DRAM timing and power simulator in the
+// spirit of DRAMSim2, configured per the paper's memory subsystem
+// (Sec. II-B, II-C3, Table I): four DDR4 channels clocked at 1600MHz
+// (3200MT/s data rate, 25.6GB/s peak per channel), 4 ranks per channel,
+// 8x 4Gbit chips per rank, 64GB total.
+//
+// The simulator models per-bank state machines (open row, ACT/PRE/CAS
+// readiness), rank-level tRRD and tFAW activation windows, the shared data
+// bus with direction-turnaround penalties, and periodic refresh
+// (tREFI/tRFC). The power model follows Micron's DDR4 system-power
+// calculator methodology, reduced to the three figures the paper reports in
+// Table I — idle energy per clock, and incremental read/write energy per
+// byte — and scaled to rank count and consumed bandwidth exactly as the
+// paper describes.
+package dram
+
+// Timing holds the DRAM timing parameters. All integer parameters are in
+// memory-clock cycles of period TCKNs.
+type Timing struct {
+	Name  string
+	TCKNs float64 // clock period, ns (0.625ns at 1600MHz)
+
+	CL   int // CAS (read) latency
+	CWL  int // CAS write latency
+	RCD  int // ACT -> CAS
+	RP   int // PRE -> ACT
+	RAS  int // ACT -> PRE
+	RRD  int // ACT -> ACT, same rank, same bank group (tRRD_L)
+	RRDS int // ACT -> ACT, same rank, different bank group (tRRD_S)
+	FAW  int // four-activate window, same rank
+	WR   int // write recovery (end of write data -> PRE)
+	WTR  int // write -> read turnaround (end of write data -> next READ CAS)
+	RTP  int // READ -> PRE
+	CCD  int // CAS -> CAS, same bank group (tCCD_L)
+	CCDS int // CAS -> CAS, different bank group (tCCD_S)
+	RFC  int // refresh cycle time
+	REFI int // refresh interval
+	BL   int // burst length (transfers per CAS)
+}
+
+// DataClocks returns the number of clock cycles one burst occupies on the
+// double-data-rate bus (BL/2).
+func (t Timing) DataClocks() int { return t.BL / 2 }
+
+// BurstNs returns the bus occupancy of one burst in ns.
+func (t Timing) BurstNs() float64 { return float64(t.DataClocks()) * t.TCKNs }
+
+// DDR4 returns the paper's DDR4 timing set: 1600MHz clock (3200MT/s),
+// JEDEC-class latencies (tCL = tRCD = tRP = 13.75ns, tRFC(4Gb) = 260ns,
+// tREFI = 7.8us).
+func DDR4() Timing {
+	return Timing{
+		Name:  "DDR4-3200 (1600MHz clock)",
+		TCKNs: 0.625,
+		CL:    22,
+		CWL:   16,
+		RCD:   22,
+		RP:    22,
+		RAS:   52,
+		RRD:   8,
+		RRDS:  4,
+		FAW:   40,
+		WR:    24,
+		WTR:   12,
+		RTP:   12,
+		CCD:   8,
+		CCDS:  4,
+		RFC:   416,   // 260ns for a 4Gb device
+		REFI:  12480, // 7.8us
+		BL:    8,
+	}
+}
+
+// LPDDR4 returns a mobile-DRAM timing set for the paper's discussion-
+// section what-if (Sec. V-C: "memory technologies that exhibit lower
+// background power than DDR4, such as mobile DRAM (LPDDR4), could be used
+// to increase the energy proportionality of the servers"). Core timings are
+// slightly slower than DDR4 at the same data rate.
+func LPDDR4() Timing {
+	return Timing{
+		Name:  "LPDDR4-3200",
+		TCKNs: 0.625,
+		CL:    28,
+		CWL:   14,
+		RCD:   29,
+		RP:    34,
+		RAS:   67,
+		RRD:   16,
+		RRDS:  16,
+		FAW:   64,
+		WR:    29,
+		WTR:   16,
+		RTP:   12,
+		CCD:   8,
+		CCDS:  8,
+		RFC:   448,  // 280ns
+		REFI:  6240, // 3.9us (per-bank refresh rolled into an all-bank equivalent)
+		BL:    16,
+	}
+}

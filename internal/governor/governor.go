@@ -1,0 +1,294 @@
+// Package governor simulates operating-point management policies for a
+// near-threshold server under time-varying load — the research direction
+// the paper's discussion opens (Sec. V-C: FD-SOI "provides effective knobs
+// to improve energy proportionality using BB to reduce leakage, or
+// alternatively to provide local boost in a very fine-grained and reactive
+// fashion").
+//
+// The governor works at the analytical layer: it consumes a performance
+// curve UIPS(f) measured by the full-system simulator (core.Sweep), the
+// platform power models, and the queueing tail-latency model, and replays
+// a request-rate trace (diurnal pattern with load spikes) under different
+// policies:
+//
+//   - MaxFrequency: conventional operation, always at 2GHz;
+//   - RaceToIdle: 2GHz while busy, RBB sleep when idle;
+//   - Static NT: the QoS-feasible server-efficiency optimum, fixed;
+//   - Adaptive: the lowest frequency whose QoS-constrained capacity covers
+//     the current load, with FBB boost absorbing spikes faster than a
+//     supply-rail DVFS transition could.
+package governor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ntcsim/internal/platform"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+)
+
+// PerfPoint is one measured operating point.
+type PerfPoint struct {
+	FreqHz float64
+	UIPS   float64 // chip throughput at this frequency
+}
+
+// PerfCurve is the measured UIPS(f) relation, ascending in frequency.
+type PerfCurve struct {
+	Points []PerfPoint
+}
+
+// NewPerfCurve sorts and validates the points.
+func NewPerfCurve(points []PerfPoint) (PerfCurve, error) {
+	if len(points) < 2 {
+		return PerfCurve{}, fmt.Errorf("governor: need at least two performance points")
+	}
+	ps := append([]PerfPoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].FreqHz < ps[j].FreqHz })
+	for i, p := range ps {
+		if p.FreqHz <= 0 || p.UIPS <= 0 {
+			return PerfCurve{}, fmt.Errorf("governor: non-positive point %d", i)
+		}
+	}
+	return PerfCurve{Points: ps}, nil
+}
+
+// UIPSAt linearly interpolates throughput at frequency f (clamped to the
+// curve's range).
+func (c PerfCurve) UIPSAt(f float64) float64 {
+	ps := c.Points
+	if f <= ps[0].FreqHz {
+		return ps[0].UIPS
+	}
+	if f >= ps[len(ps)-1].FreqHz {
+		return ps[len(ps)-1].UIPS
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].FreqHz >= f }) - 1
+	a, b := ps[i], ps[i+1]
+	t := (f - a.FreqHz) / (b.FreqHz - a.FreqHz)
+	return a.UIPS + t*(b.UIPS-a.UIPS)
+}
+
+// MaxFreq returns the top of the curve.
+func (c PerfCurve) MaxFreq() float64 { return c.Points[len(c.Points)-1].FreqHz }
+
+// MinFreq returns the bottom of the curve.
+func (c PerfCurve) MinFreq() float64 { return c.Points[0].FreqHz }
+
+// LoadTrace is a request-rate time series.
+type LoadTrace struct {
+	Step   time.Duration
+	Lambda []float64 // requests/s per step
+}
+
+// DiurnalTrace generates a day-long load trace with the classic diurnal
+// swing plus random short spikes — the load shape that motivates both the
+// paper's QoS analysis and its boost knob.
+func DiurnalTrace(steps int, peakLambda, troughFrac, spikeProb, spikeMag float64, seed *rng.Stream) LoadTrace {
+	s := seed.Derive("load-trace")
+	tr := LoadTrace{Step: 24 * time.Hour / time.Duration(steps)}
+	for i := 0; i < steps; i++ {
+		phase := 2 * math.Pi * float64(i) / float64(steps)
+		// Diurnal: trough at night, peak in the evening.
+		base := troughFrac + (1-troughFrac)*(0.5-0.5*math.Cos(phase))
+		lam := peakLambda * base * (1 + 0.05*s.NormFloat64())
+		if s.Bool(spikeProb) {
+			lam *= spikeMag
+		}
+		if lam < 0 {
+			lam = 0
+		}
+		if lam > peakLambda*spikeMag {
+			lam = peakLambda * spikeMag
+		}
+		tr.Lambda = append(tr.Lambda, lam)
+	}
+	return tr
+}
+
+// Config wires the governor's models together.
+type Config struct {
+	Platform *platform.Spec
+	Curve    PerfCurve
+	Tail     qos.TailModel
+	QoSLimit time.Duration
+	// UncoreW and MemBackgroundW are the standing non-core powers.
+	UncoreW        float64
+	MemBackgroundW float64
+	// MemDynPerReq is the memory dynamic energy per request (J).
+	MemDynPerReq float64
+	// Margin derates capacity during planning (e.g. 0.85 plans for 85%).
+	Margin float64
+}
+
+// Decision is a policy's choice for one step.
+type Decision struct {
+	FreqHz float64
+	Sleep  bool // RBB-sleep idle capacity within the step
+	Boost  bool // spike absorbed by FBB boost
+}
+
+// Policy maps the observed load to an operating decision.
+type Policy interface {
+	Name() string
+	Decide(cfg *Config, lambda float64) Decision
+}
+
+// NewMaxFrequency returns the conventional always-at-fmax policy.
+func NewMaxFrequency() Policy { return maxFreqPolicy{} }
+
+// NewRaceToIdle returns the fmax-plus-sleep policy.
+func NewRaceToIdle() Policy { return raceToIdlePolicy{} }
+
+// maxFreqPolicy runs flat out.
+type maxFreqPolicy struct{}
+
+func (maxFreqPolicy) Name() string { return "max-frequency" }
+func (maxFreqPolicy) Decide(cfg *Config, lambda float64) Decision {
+	return Decision{FreqHz: cfg.Curve.MaxFreq()}
+}
+
+// raceToIdlePolicy runs flat out but sleeps the idle fraction.
+type raceToIdlePolicy struct{}
+
+func (raceToIdlePolicy) Name() string { return "race-to-idle" }
+func (raceToIdlePolicy) Decide(cfg *Config, lambda float64) Decision {
+	return Decision{FreqHz: cfg.Curve.MaxFreq(), Sleep: true}
+}
+
+// staticNTPolicy pins the lowest frequency that covers the PEAK planning
+// load (no runtime adaptation).
+type staticNTPolicy struct{ planFreq float64 }
+
+// NewStaticNT plans for the given peak load.
+func NewStaticNT(cfg *Config, peakLambda float64) Policy {
+	return &staticNTPolicy{planFreq: minFreqFor(cfg, peakLambda)}
+}
+
+func (p *staticNTPolicy) Name() string { return "static-nt" }
+func (p *staticNTPolicy) Decide(cfg *Config, lambda float64) Decision {
+	return Decision{FreqHz: p.planFreq, Sleep: true}
+}
+
+// adaptivePolicy tracks the load every step and boosts on spikes.
+type adaptivePolicy struct{ prevFreq float64 }
+
+// NewAdaptive returns the load-tracking policy.
+func NewAdaptive() Policy { return &adaptivePolicy{} }
+
+func (p *adaptivePolicy) Name() string { return "adaptive-fbb" }
+func (p *adaptivePolicy) Decide(cfg *Config, lambda float64) Decision {
+	f := minFreqFor(cfg, lambda)
+	d := Decision{FreqHz: f, Sleep: true}
+	// A large upward frequency step is served by FBB boost while the
+	// supply rail catches up (sub-us vs the V-rail's slower ramp).
+	if p.prevFreq > 0 && f > p.prevFreq*1.5 {
+		d.Boost = true
+	}
+	p.prevFreq = f
+	return d
+}
+
+// minFreqFor returns the lowest curve frequency whose QoS-constrained
+// capacity (with margin) covers lambda; the maximum frequency if none does.
+func minFreqFor(cfg *Config, lambda float64) float64 {
+	for _, pt := range cfg.Curve.Points {
+		if cfg.Tail.MaxLoad(cfg.QoSLimit, pt.UIPS)*cfg.Margin >= lambda {
+			return pt.FreqHz
+		}
+	}
+	return cfg.Curve.MaxFreq()
+}
+
+// StepResult records one simulated interval.
+type StepResult struct {
+	Lambda      float64
+	Decision    Decision
+	Utilization float64
+	PowerW      float64
+	Tail99      time.Duration
+	Violated    bool
+}
+
+// Result summarizes a policy run.
+type Result struct {
+	Policy     string
+	EnergyKWh  float64
+	AvgPowerW  float64
+	Violations int
+	Steps      []StepResult
+}
+
+// Run replays the trace under the policy.
+func Run(cfg *Config, pol Policy, trace LoadTrace) (Result, error) {
+	if cfg.Margin <= 0 || cfg.Margin > 1 {
+		return Result{}, fmt.Errorf("governor: margin must be in (0,1]")
+	}
+	res := Result{Policy: pol.Name()}
+	var energyJ float64
+	for _, lambda := range trace.Lambda {
+		d := pol.Decide(cfg, lambda)
+		uips := cfg.Curve.UIPSAt(d.FreqHz)
+
+		// Utilization and QoS at the chosen point.
+		rho := cfg.Tail.Utilization(lambda, uips)
+		step := StepResult{Lambda: lambda, Decision: d, Utilization: math.Min(rho, 1)}
+		t99, err := cfg.Tail.Tail99(lambda, uips)
+		if err != nil || t99 > cfg.QoSLimit {
+			step.Violated = true
+			res.Violations++
+			step.Tail99 = cfg.QoSLimit * 10 // saturated: latency unbounded
+		} else {
+			step.Tail99 = t99
+		}
+
+		// Power: busy cores at the operating point, idle capacity either
+		// leaking (no sleep) or under RBB.
+		op, err := cfg.Platform.Tech.OperatingPointFor(d.FreqHz, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		busy := math.Min(rho, 1)
+		n := float64(cfg.Platform.TotalCores())
+		active := cfg.Platform.Core.Power(op, 1.0)
+		var idle float64
+		if d.Sleep {
+			idle = cfg.Platform.Core.SleepPower(op.Vdd)
+		} else {
+			idle = cfg.Platform.Core.LeakagePower(op.Vdd, op.Vbb)
+		}
+		coreW := n * (busy*active + (1-busy)*idle)
+		if d.Boost {
+			// Boost interval: extra leakage while the bias is applied
+			// (charged for a fixed 10% of the step as a planning figure).
+			boostLeak := n * cfg.Platform.Core.LeakagePower(op.Vdd, 1.3)
+			coreW += 0.1 * (boostLeak - n*idle)
+		}
+		memW := cfg.MemBackgroundW + lambda*cfg.MemDynPerReq
+		step.PowerW = coreW + cfg.UncoreW + memW
+
+		energyJ += step.PowerW * trace.Step.Seconds()
+		res.Steps = append(res.Steps, step)
+	}
+	res.EnergyKWh = energyJ / 3.6e6
+	if len(trace.Lambda) > 0 {
+		res.AvgPowerW = energyJ / (trace.Step.Seconds() * float64(len(trace.Lambda)))
+	}
+	return res, nil
+}
+
+// Compare runs several policies on the same trace.
+func Compare(cfg *Config, trace LoadTrace, policies ...Policy) ([]Result, error) {
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		r, err := Run(cfg, p, trace)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

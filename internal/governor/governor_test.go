@@ -1,0 +1,222 @@
+package governor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ntcsim/internal/platform"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+)
+
+// testConfig builds a governor config from an analytic performance curve
+// (UIPS roughly linear in f, as the VM workloads measure).
+func testConfig(t *testing.T) *Config {
+	t.Helper()
+	spec, err := platform.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := NewPerfCurve([]PerfPoint{
+		{0.2e9, 4e9}, {0.5e9, 9e9}, {1.0e9, 16e9}, {1.5e9, 21e9}, {2.0e9, 25e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Config{
+		Platform:       spec,
+		Curve:          curve,
+		Tail:           qos.NewTailModel(36, 50*time.Millisecond, 25e9),
+		QoSLimit:       200 * time.Millisecond,
+		UncoreW:        23,
+		MemBackgroundW: 15,
+		MemDynPerReq:   1e-3,
+		Margin:         0.85,
+	}
+}
+
+func testTrace() LoadTrace {
+	return DiurnalTrace(96, 2200, 0.2, 0.05, 1.4, rng.New(42))
+}
+
+func TestPerfCurveInterpolation(t *testing.T) {
+	c, err := NewPerfCurve([]PerfPoint{{1e9, 10e9}, {2e9, 16e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UIPSAt(1.5e9); math.Abs(got-13e9) > 1e-3 {
+		t.Fatalf("midpoint = %v, want 13e9", got)
+	}
+	if got := c.UIPSAt(0.5e9); got != 10e9 {
+		t.Fatalf("below range should clamp, got %v", got)
+	}
+	if got := c.UIPSAt(3e9); got != 16e9 {
+		t.Fatalf("above range should clamp, got %v", got)
+	}
+}
+
+func TestPerfCurveValidation(t *testing.T) {
+	if _, err := NewPerfCurve([]PerfPoint{{1e9, 1e9}}); err == nil {
+		t.Fatal("single point should be rejected")
+	}
+	if _, err := NewPerfCurve([]PerfPoint{{1e9, 1e9}, {2e9, 0}}); err == nil {
+		t.Fatal("zero UIPS should be rejected")
+	}
+}
+
+func TestDiurnalTraceShape(t *testing.T) {
+	tr := testTrace()
+	if len(tr.Lambda) != 96 {
+		t.Fatalf("steps = %d", len(tr.Lambda))
+	}
+	if tr.Step != 15*time.Minute {
+		t.Fatalf("step = %v", tr.Step)
+	}
+	var min, max float64 = math.Inf(1), 0
+	for _, l := range tr.Lambda {
+		if l < 0 {
+			t.Fatal("negative load")
+		}
+		min = math.Min(min, l)
+		max = math.Max(max, l)
+	}
+	if max < 2*min {
+		t.Fatalf("diurnal swing too small: %v..%v", min, max)
+	}
+	// Determinism.
+	tr2 := DiurnalTrace(96, 2200, 0.2, 0.05, 1.4, rng.New(42))
+	for i := range tr.Lambda {
+		if tr.Lambda[i] != tr2.Lambda[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestAdaptiveSavesEnergyVsMaxFreq(t *testing.T) {
+	cfg := testConfig(t)
+	tr := testTrace()
+	results, err := Compare(cfg, tr,
+		maxFreqPolicy{}, raceToIdlePolicy{}, NewStaticNT(cfg, 2200), NewAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Policy] = r
+	}
+	maxE := byName["max-frequency"].EnergyKWh
+	if byName["adaptive-fbb"].EnergyKWh >= maxE {
+		t.Fatalf("adaptive (%.2f kWh) should beat max-frequency (%.2f kWh)",
+			byName["adaptive-fbb"].EnergyKWh, maxE)
+	}
+	if byName["race-to-idle"].EnergyKWh >= maxE {
+		t.Fatal("race-to-idle should beat always-on max frequency")
+	}
+	// The adaptive NT policy should be the best of the four on a diurnal
+	// trace (it spends most of the day near the efficiency optimum).
+	for name, r := range byName {
+		if name == "adaptive-fbb" {
+			continue
+		}
+		if byName["adaptive-fbb"].EnergyKWh > r.EnergyKWh {
+			t.Fatalf("adaptive (%.2f kWh) beaten by %s (%.2f kWh)",
+				byName["adaptive-fbb"].EnergyKWh, name, r.EnergyKWh)
+		}
+	}
+}
+
+func TestAdaptiveMeetsQoS(t *testing.T) {
+	cfg := testConfig(t)
+	tr := testTrace()
+	res, err := Run(cfg, NewAdaptive(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations > 0 {
+		t.Fatalf("adaptive policy violated QoS %d times", res.Violations)
+	}
+	for _, s := range res.Steps {
+		if !s.Violated && s.Tail99 > cfg.QoSLimit {
+			t.Fatal("step marked OK but over the limit")
+		}
+	}
+}
+
+func TestMaxFrequencyMeetsQoSWithHeadroom(t *testing.T) {
+	cfg := testConfig(t)
+	res, err := Run(cfg, maxFreqPolicy{}, testTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations > 0 {
+		t.Fatalf("max frequency should absorb the whole trace, %d violations", res.Violations)
+	}
+}
+
+func TestStaticNTPlansForPeak(t *testing.T) {
+	cfg := testConfig(t)
+	pol := NewStaticNT(cfg, 2200)
+	d := pol.Decide(cfg, 100) // decision ignores instantaneous load
+	if d.FreqHz <= cfg.Curve.MinFreq() {
+		t.Fatal("peak planning should not pick the minimum frequency")
+	}
+	d2 := pol.Decide(cfg, 4000)
+	if d2.FreqHz != d.FreqHz {
+		t.Fatal("static policy must not adapt")
+	}
+}
+
+func TestAdaptiveTracksLoad(t *testing.T) {
+	cfg := testConfig(t)
+	pol := NewAdaptive()
+	low := pol.Decide(cfg, 200)
+	high := pol.Decide(cfg, 3000)
+	if low.FreqHz >= high.FreqHz {
+		t.Fatalf("adaptive should scale with load: %.0f vs %.0f MHz",
+			low.FreqHz/1e6, high.FreqHz/1e6)
+	}
+	// A large upward step triggers the FBB boost path.
+	if !high.Boost {
+		t.Fatal("a 15x load jump should be absorbed with boost")
+	}
+}
+
+func TestOverloadCountsViolations(t *testing.T) {
+	cfg := testConfig(t)
+	// A trace far above what even max frequency can serve.
+	capMax := cfg.Tail.MaxLoad(cfg.QoSLimit, cfg.Curve.UIPSAt(cfg.Curve.MaxFreq()))
+	tr := LoadTrace{Step: time.Minute, Lambda: []float64{capMax * 3}}
+	res, err := Run(cfg, maxFreqPolicy{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 1 {
+		t.Fatalf("overload must violate QoS, got %d", res.Violations)
+	}
+}
+
+func TestMarginValidation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Margin = 0
+	if _, err := Run(cfg, NewAdaptive(), testTrace()); err == nil {
+		t.Fatal("zero margin should be rejected")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := testConfig(t)
+	tr := LoadTrace{Step: time.Hour, Lambda: []float64{1000, 1000}}
+	res, err := Run(cfg, maxFreqPolicy{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKWh := res.AvgPowerW * 2 / 1000
+	if math.Abs(res.EnergyKWh-wantKWh) > 1e-9 {
+		t.Fatalf("energy %.4f kWh inconsistent with avg power %.1fW over 2h",
+			res.EnergyKWh, res.AvgPowerW)
+	}
+	if res.AvgPowerW < cfg.UncoreW+cfg.MemBackgroundW {
+		t.Fatal("power below the standing floor")
+	}
+}

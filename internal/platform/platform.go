@@ -1,0 +1,155 @@
+// Package platform assembles the paper's server platform (Sec. II-B, IV):
+// a 300mm^2, 100W chip in 28nm FD-SOI holding 9 clusters of 4 Cortex-A57
+// cores (36 cores total), each cluster with a 4MB 16-way 4-bank LLC and a
+// cache-coherent crossbar; UltraSPARC-T2-class I/O peripherals along the
+// chip edge; and four DDR4-1600 channels with 4 ranks each (64GB).
+//
+// The package owns the chip-level power aggregation at the paper's three
+// scopes — cores, SoC (cores + uncore), server (SoC + memory) — and the
+// first-order area model that justifies the 9-cluster organization
+// ("the server die can accommodate 9 clusters before hitting the area
+// limit").
+package platform
+
+import (
+	"fmt"
+
+	"ntcsim/internal/dram"
+	"ntcsim/internal/power"
+	"ntcsim/internal/sram"
+	"ntcsim/internal/tech"
+	"ntcsim/internal/uncore"
+)
+
+// Area constants for the 28nm generation, mm^2. A Cortex-A57 core with its
+// L1s occupies a little under 3mm^2 in 28nm; dense SRAM runs ~1.4mm^2 per
+// MB including tag/periphery overheads at cache-array densities.
+const (
+	CoreAreaMM2      = 3.2
+	LLCAreaPerMBMM2  = 1.4
+	XbarAreaMM2      = 0.8
+	PeripheryAreaMM2 = 40.0 // I/O pads, PHYs, memory controllers
+	areaUtilization  = 0.70 // routing/integration overhead
+)
+
+// Spec describes one server platform instance.
+type Spec struct {
+	Tech        *tech.Technology
+	Core        *power.CoreModel
+	Clusters    int
+	CoresPerCl  int
+	LLC         *sram.Model // per-cluster LLC
+	Xbar        *uncore.Crossbar
+	Peripherals *uncore.Peripherals
+	Memory      dram.Config
+
+	AreaBudgetMM2 float64
+	PowerBudgetW  float64
+}
+
+// Default returns the paper's platform: 9 clusters x 4 A57 cores on 28nm
+// FD-SOI, 300mm^2 area budget, 100W power budget, 64GB DDR4.
+func Default() (*Spec, error) {
+	t := tech.FDSOI28()
+	llc, err := sram.New(sram.DefaultLLCConfig())
+	if err != nil {
+		return nil, err
+	}
+	xbar, err := uncore.NewCrossbar(4)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Tech:          t,
+		Core:          power.NewA57(t),
+		Clusters:      9,
+		CoresPerCl:    4,
+		LLC:           llc,
+		Xbar:          xbar,
+		Peripherals:   uncore.SunT2Peripherals(),
+		Memory:        dram.DefaultConfig(),
+		AreaBudgetMM2: 300,
+		PowerBudgetW:  100,
+	}, nil
+}
+
+// WithTechnology returns a copy of the spec implemented in a different
+// process (e.g. bulk for the Fig. 1 comparison).
+func (s *Spec) WithTechnology(t *tech.Technology) *Spec {
+	c := *s
+	c.Tech = t
+	c.Core = power.NewA57(t)
+	return &c
+}
+
+// TotalCores returns the chip's core count (36 for the default).
+func (s *Spec) TotalCores() int { return s.Clusters * s.CoresPerCl }
+
+// ClusterAreaMM2 returns the silicon area of one cluster.
+func (s *Spec) ClusterAreaMM2() float64 {
+	llcMB := float64(s.LLC.Config().CapacityBytes) / (1 << 20)
+	return float64(s.CoresPerCl)*CoreAreaMM2 + llcMB*LLCAreaPerMBMM2 + XbarAreaMM2
+}
+
+// ChipAreaMM2 returns the estimated die area, including integration
+// overhead and the chip-edge periphery.
+func (s *Spec) ChipAreaMM2() float64 {
+	logic := float64(s.Clusters) * s.ClusterAreaMM2()
+	return logic/areaUtilization + PeripheryAreaMM2
+}
+
+// MaxClusters returns how many clusters fit the area budget — the paper's
+// sizing rule ("the server die can accommodate 9 clusters before hitting
+// the area limit").
+func (s *Spec) MaxClusters() int {
+	avail := (s.AreaBudgetMM2 - PeripheryAreaMM2) * areaUtilization
+	n := int(avail / s.ClusterAreaMM2())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// CheckBudgets validates that the configuration honors its area budget.
+func (s *Spec) CheckBudgets() error {
+	if got := s.ChipAreaMM2(); got > s.AreaBudgetMM2 {
+		return fmt.Errorf("platform: chip area %.0fmm^2 exceeds budget %.0fmm^2", got, s.AreaBudgetMM2)
+	}
+	return nil
+}
+
+// CorePowerW returns chip-level core power: all cores at the operating
+// point with the given activity factor.
+func (s *Spec) CorePowerW(op tech.OperatingPoint, activity float64) float64 {
+	return float64(s.TotalCores()) * s.Core.Power(op, activity)
+}
+
+// UncorePowerW returns chip-level uncore power: per-cluster LLCs (leakage +
+// access energy at the given per-cluster rates) and crossbars, plus the
+// chip-edge peripherals. The uncore is on its own voltage/frequency domain
+// and does not scale with the cores' DVFS point (paper Sec. II-C2).
+func (s *Spec) UncorePowerW(llcReadsPerSec, llcWritesPerSec, xbarPerSec float64) float64 {
+	perCluster := s.LLC.Power(llcReadsPerSec, llcWritesPerSec) + s.Xbar.Power(xbarPerSec)
+	return float64(s.Clusters)*perCluster + s.Peripherals.Power()
+}
+
+// MemoryPowerW returns the memory-subsystem power at the given aggregate
+// chip-level read/write bandwidth, using the paper's Table I scaling.
+func (s *Spec) MemoryPowerW(readBW, writeBW float64) float64 {
+	e := s.Memory.Power.Energies(s.Memory.Timing, s.Memory.ChipsPerRank)
+	ranks := s.Memory.Channels * s.Memory.RanksPerChan
+	return e.Power(ranks, readBW, writeBW)
+}
+
+// ServerPower decomposes total server power at the paper's three scopes.
+type ServerPower struct {
+	CoresW  float64
+	UncoreW float64
+	MemoryW float64
+}
+
+// SoCW returns cores + uncore (the processor die).
+func (p ServerPower) SoCW() float64 { return p.CoresW + p.UncoreW }
+
+// TotalW returns the full server power (SoC + memory).
+func (p ServerPower) TotalW() float64 { return p.SoCW() + p.MemoryW }

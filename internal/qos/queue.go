@@ -1,0 +1,134 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TailModel extends the paper's near-zero-contention latency scaling to
+// loaded servers with an M/M/k queueing approximation. The paper measures
+// the minimum 99th-percentile latency (no queueing) and scales it with
+// throughput; under real load, queueing delay inflates the tail. The model
+// composes the two:
+//
+//	T99(f, lambda) = scaledBase99(f) + Wq99(f, lambda)
+//
+// where Wq99 comes from the Erlang-C waiting-time distribution
+// P(Wq > t) = C(k, a) * exp(-k*mu*(1-rho)*t). This is the machinery the
+// DVFS governor uses to keep QoS under time-varying load — the
+// "computation spikes" the paper's FBB boost knob targets.
+type TailModel struct {
+	// Cores is the number of service slots (request-level parallelism).
+	Cores int
+	// Base99 is the measured minimum 99th-percentile latency at BaseUIPS
+	// (the paper's 2GHz near-zero-contention measurement).
+	Base99 time.Duration
+	// BaseUIPS is the throughput at which Base99 was measured.
+	BaseUIPS float64
+	// ServiceFraction converts tail latency to mean service time:
+	// S = Base99 * ServiceFraction (for an exponential service
+	// distribution the 99th is ~4.6x the mean, so ~0.22).
+	ServiceFraction float64
+}
+
+// NewTailModel builds a tail model from a workload baseline.
+func NewTailModel(cores int, base99 time.Duration, baseUIPS float64) TailModel {
+	return TailModel{
+		Cores:           cores,
+		Base99:          base99,
+		BaseUIPS:        baseUIPS,
+		ServiceFraction: 1 / math.Log(100), // exponential service: p99 = ln(100)*mean
+	}
+}
+
+// scaled99 returns the zero-contention tail at throughput uips.
+func (m TailModel) scaled99(uips float64) time.Duration {
+	return ScaledLatency(m.Base99, m.BaseUIPS, uips)
+}
+
+// MeanService returns the mean request service time at throughput uips.
+func (m TailModel) MeanService(uips float64) time.Duration {
+	return time.Duration(float64(m.scaled99(uips)) * m.ServiceFraction)
+}
+
+// Capacity returns the maximum sustainable arrival rate (requests/s) at
+// throughput uips (rho = 1 boundary).
+func (m TailModel) Capacity(uips float64) float64 {
+	s := m.MeanService(uips).Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(m.Cores) / s
+}
+
+// Utilization returns rho for arrival rate lambda (requests/s).
+func (m TailModel) Utilization(lambda, uips float64) float64 {
+	c := m.Capacity(uips)
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return lambda / c
+}
+
+// erlangC returns the probability an arrival must queue in an M/M/k system
+// with offered load a = lambda/mu and k servers (computed with the stable
+// iterative form).
+func erlangC(k int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	rho := a / float64(k)
+	if rho >= 1 {
+		return 1
+	}
+	// Iteratively build the Erlang-B blocking probability, then convert.
+	b := 1.0
+	for i := 1; i <= k; i++ {
+		b = a * b / (float64(i) + a*b)
+	}
+	return b / (1 - rho*(1-b))
+}
+
+// Tail99 returns the 99th-percentile request latency at throughput uips
+// under Poisson arrivals of rate lambda. It returns an error when the
+// system is saturated (rho >= 1).
+func (m TailModel) Tail99(lambda, uips float64) (time.Duration, error) {
+	s := m.MeanService(uips).Seconds()
+	if s <= 0 {
+		return 0, fmt.Errorf("qos: degenerate service time")
+	}
+	mu := 1 / s
+	k := float64(m.Cores)
+	rho := lambda / (k * mu)
+	if rho >= 1 {
+		return 0, fmt.Errorf("qos: saturated (rho = %.2f)", rho)
+	}
+	c := erlangC(m.Cores, lambda/mu)
+	// P(Wq > t) = C * exp(-k*mu*(1-rho)*t); the 1% quantile of the wait:
+	var wq float64
+	if c > 0.01 {
+		wq = math.Log(c/0.01) / (k * mu * (1 - rho))
+	}
+	return m.scaled99(uips) + time.Duration(wq*float64(time.Second)), nil
+}
+
+// MaxLoad returns the highest arrival rate at which the 99th-percentile
+// latency stays within limit, at throughput uips (bisection; 0 when even
+// an unloaded system violates the limit).
+func (m TailModel) MaxLoad(limit time.Duration, uips float64) float64 {
+	if t99, err := m.Tail99(0, uips); err != nil || t99 > limit {
+		return 0
+	}
+	lo, hi := 0.0, m.Capacity(uips)*0.999999
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		t99, err := m.Tail99(mid, uips)
+		if err == nil && t99 <= limit {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

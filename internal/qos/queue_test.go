@@ -1,0 +1,150 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testModel() TailModel {
+	// 36-core server, 50ms baseline p99 at 30 GUIPS.
+	return NewTailModel(36, 50*time.Millisecond, 30e9)
+}
+
+func TestUnloadedTailEqualsScaledBaseline(t *testing.T) {
+	m := testModel()
+	got, err := m.Tail99(0, 30e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50*time.Millisecond {
+		t.Fatalf("unloaded tail at baseline throughput = %v, want 50ms", got)
+	}
+	// Half the throughput -> double the unloaded tail.
+	got, err = m.Tail99(0, 15e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100*time.Millisecond {
+		t.Fatalf("tail at half throughput = %v, want 100ms", got)
+	}
+}
+
+func TestTailGrowsWithLoad(t *testing.T) {
+	m := testModel()
+	cap := m.Capacity(30e9)
+	prev := time.Duration(0)
+	for _, frac := range []float64{0.1, 0.5, 0.8, 0.95} {
+		t99, err := m.Tail99(cap*frac, 30e9)
+		if err != nil {
+			t.Fatalf("rho=%.2f: %v", frac, err)
+		}
+		// With 36 servers the p99 wait is zero until utilization gets
+		// high (Erlang-C below 1%), so require non-decreasing here...
+		if t99 < prev {
+			t.Fatalf("tail decreased with load: %v after %v at rho=%.2f", t99, prev, frac)
+		}
+		prev = t99
+	}
+	// ...and strict inflation near saturation.
+	lo, _ := m.Tail99(cap*0.1, 30e9)
+	hi, err := m.Tail99(cap*0.97, 30e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("near saturation the tail must inflate: %v vs %v", hi, lo)
+	}
+}
+
+func TestSaturationRejected(t *testing.T) {
+	m := testModel()
+	cap := m.Capacity(30e9)
+	if _, err := m.Tail99(cap*1.01, 30e9); err == nil {
+		t.Fatal("over-capacity load should error")
+	}
+}
+
+func TestCapacityScalesWithThroughput(t *testing.T) {
+	m := testModel()
+	if m.Capacity(30e9) <= m.Capacity(15e9) {
+		t.Fatal("higher UIPS must serve more requests")
+	}
+	ratio := m.Capacity(30e9) / m.Capacity(15e9)
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("capacity ratio = %v, want 2 (linear)", ratio)
+	}
+}
+
+func TestErlangCBounds(t *testing.T) {
+	// Single server: C equals rho.
+	if got := erlangC(1, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("M/M/1 queueing probability = %v, want rho", got)
+	}
+	// Many servers at low load queue almost never.
+	if got := erlangC(36, 3.6); got > 1e-6 {
+		t.Fatalf("36 servers at rho=0.1 should almost never queue, C=%v", got)
+	}
+	// Saturation.
+	if got := erlangC(4, 4); got != 1 {
+		t.Fatalf("rho=1 should give C=1, got %v", got)
+	}
+	if got := erlangC(4, 0); got != 0 {
+		t.Fatalf("no load should give C=0, got %v", got)
+	}
+}
+
+func TestMaxLoadRespectsQoS(t *testing.T) {
+	m := testModel()
+	limit := 200 * time.Millisecond
+	lam := m.MaxLoad(limit, 30e9)
+	if lam <= 0 {
+		t.Fatal("a 50ms-baseline service must accept load under a 200ms limit")
+	}
+	t99, err := m.Tail99(lam, 30e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t99 > limit {
+		t.Fatalf("tail at MaxLoad = %v exceeds limit %v", t99, limit)
+	}
+	// Just above MaxLoad should violate (or saturate).
+	if t99b, err := m.Tail99(lam*1.02, 30e9); err == nil && t99b <= limit {
+		t.Fatal("MaxLoad is not maximal")
+	}
+}
+
+func TestMaxLoadZeroWhenBaselineViolates(t *testing.T) {
+	m := testModel()
+	// At 1/10 throughput the unloaded tail is 500ms > 200ms.
+	if got := m.MaxLoad(200*time.Millisecond, 3e9); got != 0 {
+		t.Fatalf("MaxLoad = %v, want 0 when even idle violates", got)
+	}
+}
+
+func TestMaxLoadGrowsWithFrequencyHeadroom(t *testing.T) {
+	m := testModel()
+	limit := 200 * time.Millisecond
+	if m.MaxLoad(limit, 30e9) <= m.MaxLoad(limit, 12e9) {
+		t.Fatal("more throughput must admit more load under the same QoS")
+	}
+}
+
+func TestQuickTailMonotoneInLoad(t *testing.T) {
+	m := testModel()
+	cap := m.Capacity(30e9)
+	err := quick.Check(func(a, b uint16) bool {
+		l1 := float64(a) / 65536 * cap * 0.99
+		l2 := float64(b) / 65536 * cap * 0.99
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		t1, err1 := m.Tail99(l1, 30e9)
+		t2, err2 := m.Tail99(l2, 30e9)
+		return err1 == nil && err2 == nil && t2 >= t1
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

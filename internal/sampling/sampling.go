@@ -1,0 +1,209 @@
+// Package sampling implements the SMARTS statistical sampling methodology
+// the paper uses to make full-system simulation tractable (Sec. IV,
+// following Wunderlich et al.): systematic samples are drawn over a long
+// instruction stream; between samples the simulator fast-forwards in a
+// cheap functional-warming mode (caches and branch predictors stay warm),
+// and each sample consists of a detailed warmup window followed by a
+// detailed measurement window. Sampling stops when the performance metric
+// reaches the target confidence ("Performance is measured at a 95%
+// confidence level and an average error below 2%").
+package sampling
+
+import (
+	"fmt"
+
+	"ntcsim/internal/sim"
+	"ntcsim/internal/stats"
+	"ntcsim/internal/workload"
+)
+
+// Target is the simulator driven by the sampler (implemented by
+// sim.Cluster).
+type Target interface {
+	FastForward(nPerCore uint64)
+	Run(cycles int64)
+	Measure(cycles int64) sim.Measurement
+}
+
+var _ Target = (*sim.Cluster)(nil)
+
+// Config controls one sampled simulation.
+type Config struct {
+	// WarmupCycles of detailed simulation precede each measurement so
+	// pipeline and queue state reach steady state (paper: 100K cycles, 2M
+	// for Data Serving).
+	WarmupCycles int64
+	// MeasureCycles is the detailed measurement window (paper: 50K cycles,
+	// 400K for Data Serving).
+	MeasureCycles int64
+	// FastForwardInstr is the functional-warming gap between samples (per
+	// core), giving systematic coverage of the 10-second trace interval.
+	FastForwardInstr uint64
+	// MinSamples / MaxSamples bound the adaptive loop.
+	MinSamples, MaxSamples int
+	// Confidence is the confidence level (0.95).
+	Confidence float64
+	// TargetRelErr is the stopping threshold on the relative CI half-width
+	// of UIPC (0.02).
+	TargetRelErr float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.WarmupCycles < 0 || c.MeasureCycles <= 0:
+		return fmt.Errorf("sampling: windows must be positive")
+	case c.MinSamples < 2 || c.MaxSamples < c.MinSamples:
+		return fmt.Errorf("sampling: need MaxSamples >= MinSamples >= 2")
+	case c.Confidence <= 0 || c.Confidence >= 1:
+		return fmt.Errorf("sampling: confidence out of (0,1)")
+	case c.TargetRelErr <= 0:
+		return fmt.Errorf("sampling: target relative error must be positive")
+	}
+	return nil
+}
+
+// PaperConfig returns the paper's sampling parameters for a workload:
+// 100K-cycle warmup and 50K-cycle measurement (2M/400K for Data Serving),
+// 95% confidence, 2% error.
+func PaperConfig(p *workload.Profile) Config {
+	cfg := Config{
+		WarmupCycles:     100_000,
+		MeasureCycles:    50_000,
+		FastForwardInstr: 300_000,
+		MinSamples:       4,
+		MaxSamples:       40,
+		Confidence:       0.95,
+		TargetRelErr:     0.02,
+	}
+	if p != nil && p.Name == "data-serving" {
+		cfg.WarmupCycles = 2_000_000
+		cfg.MeasureCycles = 400_000
+		cfg.MaxSamples = 10
+	}
+	return cfg
+}
+
+// QuickConfig returns a reduced-cost configuration for tests, examples and
+// benchmark harness defaults: same structure, smaller windows, looser
+// error target.
+func QuickConfig() Config {
+	return Config{
+		WarmupCycles:     20_000,
+		MeasureCycles:    30_000,
+		FastForwardInstr: 60_000,
+		MinSamples:       3,
+		MaxSamples:       10,
+		Confidence:       0.95,
+		TargetRelErr:     0.05,
+	}
+}
+
+// Result is the outcome of a sampled simulation.
+type Result struct {
+	Samples   []sim.Measurement
+	UIPC      stats.Accumulator
+	Converged bool // reached TargetRelErr before MaxSamples
+
+	// Aggregates over all measurement windows.
+	TotalCycles     int64
+	TotalDurationNs float64
+	TotalUserInstr  uint64
+	TotalInstr      uint64
+	ReadBytes       uint64
+	WriteBytes      uint64
+	LLCAccesses     uint64
+	LLCMisses       uint64
+	LLCReads        uint64
+	LLCWrites       uint64
+}
+
+// MeanUIPC returns the sampled mean cluster UIPC.
+func (r Result) MeanUIPC() float64 { return r.UIPC.Mean() }
+
+// RelErr returns the relative CI half-width at the configured confidence.
+func (r Result) RelErr(confidence float64) float64 { return r.UIPC.RelativeError(confidence) }
+
+// MeanUIPS returns the mean user instructions per second, using the
+// frequency of the sampled windows.
+func (r Result) MeanUIPS() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	return r.UIPC.Mean() * r.Samples[0].FreqHz
+}
+
+// ReadBandwidth returns the aggregate DRAM read bandwidth over all
+// measurement windows, bytes/s.
+func (r Result) ReadBandwidth() float64 {
+	if r.TotalDurationNs <= 0 {
+		return 0
+	}
+	return float64(r.ReadBytes) / (r.TotalDurationNs * 1e-9)
+}
+
+// WriteBandwidth returns the aggregate DRAM write bandwidth, bytes/s.
+func (r Result) WriteBandwidth() float64 {
+	if r.TotalDurationNs <= 0 {
+		return 0
+	}
+	return float64(r.WriteBytes) / (r.TotalDurationNs * 1e-9)
+}
+
+// LLCAccessRate returns LLC accesses per second over the windows.
+func (r Result) LLCAccessRate() float64 {
+	if r.TotalDurationNs <= 0 {
+		return 0
+	}
+	return float64(r.LLCAccesses) / (r.TotalDurationNs * 1e-9)
+}
+
+// LLCReadRate returns LLC demand reads per second over the windows.
+func (r Result) LLCReadRate() float64 {
+	if r.TotalDurationNs <= 0 {
+		return 0
+	}
+	return float64(r.LLCReads) / (r.TotalDurationNs * 1e-9)
+}
+
+// LLCWriteRate returns LLC writeback receipts per second over the windows.
+func (r Result) LLCWriteRate() float64 {
+	if r.TotalDurationNs <= 0 {
+		return 0
+	}
+	return float64(r.LLCWrites) / (r.TotalDurationNs * 1e-9)
+}
+
+// Run executes the sampled simulation on t.
+func Run(t Target, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for i := 0; i < cfg.MaxSamples; i++ {
+		if i > 0 && cfg.FastForwardInstr > 0 {
+			t.FastForward(cfg.FastForwardInstr)
+		}
+		if cfg.WarmupCycles > 0 {
+			t.Run(cfg.WarmupCycles)
+		}
+		m := t.Measure(cfg.MeasureCycles)
+		res.Samples = append(res.Samples, m)
+		res.UIPC.Add(m.UIPC())
+		res.TotalCycles += m.Cycles
+		res.TotalDurationNs += m.DurationNs
+		res.TotalUserInstr += m.UserInstructions
+		res.TotalInstr += m.Instructions
+		res.ReadBytes += m.DRAM.BytesRead
+		res.WriteBytes += m.DRAM.BytesWritten
+		res.LLCAccesses += m.LLC.Accesses
+		res.LLCMisses += m.LLC.Misses
+		res.LLCReads += m.LLCReads
+		res.LLCWrites += m.LLCWrites
+		if i+1 >= cfg.MinSamples && res.UIPC.RelativeError(cfg.Confidence) <= cfg.TargetRelErr {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}

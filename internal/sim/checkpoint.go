@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ntcsim/internal/cache"
+	"ntcsim/internal/cpu"
+	"ntcsim/internal/dram"
+	"ntcsim/internal/uncore"
+	"ntcsim/internal/workload"
+)
+
+// Checkpoint is the complete serializable state of a warmed cluster — the
+// paper's methodology launches measurements "from checkpoints with warmed
+// caches and branch predictors" (Sec. IV), and warming dominates simulation
+// cost, so a saved checkpoint amortizes it across experiments.
+//
+// A checkpoint records the construction parameters (configuration, workload
+// names, frequency) plus every component's dynamic state; RestoreCluster
+// rebuilds the cluster deterministically and loads the state.
+type Checkpoint struct {
+	Config   Config
+	Profiles []string // workload names, one per core
+	FreqHz   float64
+
+	Cores   []cpu.CoreState
+	Banks   [][][]cache.LineState
+	BankSts []cache.Stats
+	Xbar    uncore.CrossbarState
+	Memory  dram.SystemState
+	ClampNs float64
+
+	LLCWriteFills uint64
+	DramReads     uint64
+	DramWrites    uint64
+}
+
+// Checkpoint captures the cluster's full state.
+func (cl *Cluster) Checkpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Config:        cl.cfg,
+		FreqHz:        cl.freqHz,
+		Xbar:          cl.xbar.State(),
+		Memory:        cl.mem.sys.State(),
+		ClampNs:       cl.mem.clampNs,
+		LLCWriteFills: cl.llcWriteFills,
+		DramReads:     cl.dramReads,
+		DramWrites:    cl.dramWrites,
+	}
+	for _, p := range cl.profiles {
+		ck.Profiles = append(ck.Profiles, p.Name)
+	}
+	for _, c := range cl.cores {
+		ck.Cores = append(ck.Cores, c.State())
+	}
+	for _, b := range cl.banks {
+		ck.Banks = append(ck.Banks, b.Snapshot())
+		ck.BankSts = append(ck.BankSts, b.Stats())
+	}
+	return ck
+}
+
+// RestoreCluster rebuilds a cluster from a checkpoint.
+func RestoreCluster(ck *Checkpoint) (*Cluster, error) {
+	profiles := make([]*workload.Profile, len(ck.Profiles))
+	for i, name := range ck.Profiles {
+		p := workload.ByName(name)
+		if p == nil {
+			return nil, fmt.Errorf("sim: checkpoint references unknown workload %q", name)
+		}
+		profiles[i] = p
+	}
+	cl, err := NewMixedCluster(ck.Config, profiles, ck.FreqHz)
+	if err != nil {
+		return nil, err
+	}
+	if len(ck.Cores) != len(cl.cores) || len(ck.Banks) != len(cl.banks) {
+		return nil, fmt.Errorf("sim: checkpoint shape mismatch")
+	}
+	for i, st := range ck.Cores {
+		if err := cl.cores[i].Restore(st); err != nil {
+			return nil, fmt.Errorf("sim: core %d: %w", i, err)
+		}
+	}
+	for i, snap := range ck.Banks {
+		if err := cl.banks[i].RestoreSnapshot(snap); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		cl.banks[i].SetStats(ck.BankSts[i])
+	}
+	if err := cl.xbar.Restore(ck.Xbar); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cl.mem.sys.Restore(ck.Memory); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cl.mem.clampNs = ck.ClampNs
+	cl.llcWriteFills = ck.LLCWriteFills
+	cl.dramReads = ck.DramReads
+	cl.dramWrites = ck.DramWrites
+	return cl, nil
+}
+
+// Save writes the checkpoint with encoding/gob.
+func (ck *Checkpoint) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
+	}
+	return &ck, nil
+}

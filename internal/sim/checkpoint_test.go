@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"ntcsim/internal/workload"
+)
+
+func TestCheckpointIdenticalContinuation(t *testing.T) {
+	// A restored cluster must continue *bit-identically* to the original:
+	// warm, checkpoint, then run both sides and compare measurements.
+	cfg := DefaultConfig()
+	orig, err := NewCluster(cfg, workload.WebSearch(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.FastForward(200000)
+	orig.Run(20000)
+
+	ck := orig.Checkpoint()
+	restored, err := RestoreCluster(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := orig.Measure(30000)
+	b := restored.Measure(30000)
+	if a.Instructions != b.Instructions || a.UserInstructions != b.UserInstructions {
+		t.Fatalf("instruction streams diverged: %d/%d vs %d/%d",
+			a.Instructions, a.UserInstructions, b.Instructions, b.UserInstructions)
+	}
+	if a.LLC != b.LLC {
+		t.Fatalf("LLC stats diverged: %+v vs %+v", a.LLC, b.LLC)
+	}
+	if a.DRAM != b.DRAM {
+		t.Fatalf("DRAM stats diverged: %+v vs %+v", a.DRAM, b.DRAM)
+	}
+	for i := range a.PerCore {
+		if a.PerCore[i] != b.PerCore[i] {
+			t.Fatalf("core %d stats diverged", i)
+		}
+	}
+}
+
+func TestCheckpointSurvivesSerialization(t *testing.T) {
+	cfg := DefaultConfig()
+	orig, err := NewCluster(cfg, workload.MediaStreaming(), 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.FastForward(150000)
+	orig.Run(10000)
+	ck := orig.Checkpoint()
+
+	var buf bytes.Buffer
+	if err := ck.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreCluster(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := orig.Measure(20000)
+	b := restored.Measure(20000)
+	if a.Instructions != b.Instructions || a.DRAM != b.DRAM || a.LLC != b.LLC {
+		t.Fatal("round-tripped checkpoint diverged")
+	}
+}
+
+func TestCheckpointPreservesDVFSContext(t *testing.T) {
+	// Checkpoint at one frequency, restore, retarget: the warmed state
+	// carries over, which is the whole point (warm once, sweep many).
+	cfg := DefaultConfig()
+	orig, err := NewCluster(cfg, workload.WebSearch(), 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.FastForward(300000)
+	orig.Run(10000)
+	ck := orig.Checkpoint()
+
+	restored, err := RestoreCluster(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.SetFrequency(0.5e9)
+	restored.Run(10000)
+	m := restored.Measure(20000)
+	if m.UIPC() <= 0 {
+		t.Fatal("restored cluster should simulate after a DVFS change")
+	}
+	// A warmed restore must beat a cold cluster at the same point.
+	cold, err := NewCluster(cfg, workload.WebSearch(), 0.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldM := cold.Measure(20000)
+	if m.PerCore[0].L1D.HitRate() <= coldM.PerCore[0].L1D.HitRate() {
+		t.Fatalf("restored caches should be warm: %.3f vs cold %.3f",
+			m.PerCore[0].L1D.HitRate(), coldM.PerCore[0].L1D.HitRate())
+	}
+}
+
+func TestCheckpointUnknownWorkloadRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := NewCluster(cfg, workload.WebSearch(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := cl.Checkpoint()
+	ck.Profiles[0] = "no-such-workload"
+	if _, err := RestoreCluster(ck); err == nil {
+		t.Fatal("unknown workload name should be rejected")
+	}
+}
+
+func TestCheckpointShapeMismatchRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := NewCluster(cfg, workload.WebSearch(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := cl.Checkpoint()
+	ck.Config.CoresPerCluster = 2 // shape no longer matches saved cores
+	ck.Profiles = ck.Profiles[:2]
+	if _, err := RestoreCluster(ck); err == nil {
+		t.Fatal("core-count mismatch should be rejected")
+	}
+}
+
+func TestLoadCheckpointGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage input should fail to decode")
+	}
+}

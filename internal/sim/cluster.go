@@ -1,0 +1,397 @@
+// Package sim is the full-system cluster simulator — the stand-in for the
+// paper's Flexus infrastructure (Sec. IV). It assembles one scale-out
+// cluster exactly as the paper configures it: 4 Cortex-A57-class OoO cores
+// with private 32KB 2-way L1s, a shared 4MB 16-way LLC split into 4 banks,
+// a cache-coherent crossbar between cores and banks, and the DDR4 memory
+// system, all on a unified nanosecond timeline.
+//
+// The cores run on the scaled core clock; the LLC, crossbar and DRAM run
+// on fixed uncore clocks, so their latencies are constant in nanoseconds —
+// the property that makes user-IPC rise as the core frequency drops.
+//
+// The chip hosts 9 such clusters (Sec. IV); chip-level figures are obtained
+// by scaling a single simulated cluster, mirroring the paper's own
+// methodology of simulating 4-core clusters and verifying that cluster
+// count does not change the trends.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ntcsim/internal/cache"
+	"ntcsim/internal/cpu"
+	"ntcsim/internal/dram"
+	"ntcsim/internal/rng"
+	"ntcsim/internal/sram"
+	"ntcsim/internal/uncore"
+	"ntcsim/internal/workload"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	CoresPerCluster int
+	Core            cpu.Config
+	LLCBanks        int
+	LLC             sram.Config
+	DRAM            dram.Config
+	Seed            uint64
+}
+
+// DefaultConfig returns the paper's cluster configuration.
+func DefaultConfig() Config {
+	return Config{
+		CoresPerCluster: 4,
+		Core:            cpu.DefaultConfig(),
+		LLCBanks:        4,
+		LLC:             sram.DefaultLLCConfig(),
+		DRAM:            dram.DefaultConfig(),
+		Seed:            0x5eed,
+	}
+}
+
+// Cluster is one simulated cluster plus the memory system. Not safe for
+// concurrent use.
+type Cluster struct {
+	cfg      Config
+	profiles []*workload.Profile // per core
+	freqHz   float64
+	cores    []*cpu.Core
+	banks    []*cache.Cache
+	llcModel *sram.Model
+	xbar     *uncore.Crossbar
+	mem      *SharedMemory
+
+	llcLatNs float64
+	lineBits uint
+
+	llcWriteFills uint64 // LLC misses on L1 writebacks (allocated in place)
+	llcReads      uint64 // demand reads received by the LLC
+	llcWrites     uint64 // L1 writebacks received by the LLC
+	dramReads     uint64
+	dramWrites    uint64
+}
+
+// NewCluster builds a cluster running profile on every core at the given
+// core frequency.
+func NewCluster(cfg Config, profile *workload.Profile, freqHz float64) (*Cluster, error) {
+	profiles := make([]*workload.Profile, cfg.CoresPerCluster)
+	for i := range profiles {
+		profiles[i] = profile
+	}
+	return NewMixedCluster(cfg, profiles, freqHz)
+}
+
+// NewMixedCluster builds a cluster with one workload per core — the
+// co-scheduling configuration the paper's private-cloud discussion rules
+// out because of interference (Sec. III-B1); the interference analysis in
+// internal/core quantifies exactly that effect.
+func NewMixedCluster(cfg Config, profiles []*workload.Profile, freqHz float64) (*Cluster, error) {
+	mem, err := NewSharedMemory(cfg.DRAM)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return newCluster(cfg, profiles, freqHz, mem, 0)
+}
+
+// newCluster builds a cluster against an externally owned memory system,
+// with globally unique core IDs starting at coreIDBase (used by Chip).
+func newCluster(cfg Config, profiles []*workload.Profile, freqHz float64, mem *SharedMemory, coreIDBase int) (*Cluster, error) {
+	if cfg.CoresPerCluster <= 0 {
+		return nil, fmt.Errorf("sim: cores per cluster must be positive")
+	}
+	if len(profiles) != cfg.CoresPerCluster {
+		return nil, fmt.Errorf("sim: %d profiles for %d cores", len(profiles), cfg.CoresPerCluster)
+	}
+	for i, p := range profiles {
+		if p == nil {
+			return nil, fmt.Errorf("sim: nil profile for core %d", i)
+		}
+	}
+	if cfg.LLCBanks <= 0 || cfg.LLCBanks&(cfg.LLCBanks-1) != 0 {
+		return nil, fmt.Errorf("sim: LLC banks must be a positive power of two, got %d", cfg.LLCBanks)
+	}
+	llcModel, err := sram.New(cfg.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	xbar, err := uncore.NewCrossbar(cfg.LLCBanks)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cl := &Cluster{
+		cfg:      cfg,
+		profiles: profiles,
+		freqHz:   freqHz,
+		llcModel: llcModel,
+		xbar:     xbar,
+		mem:      mem,
+		llcLatNs: float64(llcModel.AccessLatency()) / float64(time.Nanosecond),
+	}
+	for l := cfg.Core.LineBytes; l > 1; l >>= 1 {
+		cl.lineBits++
+	}
+	// The cluster LLC is split into banks; each bank holds an equal share.
+	bankCfg := cache.Config{
+		SizeBytes: cfg.LLC.CapacityBytes / cfg.LLCBanks,
+		Assoc:     cfg.LLC.Associativity,
+		LineBytes: cfg.LLC.LineBytes,
+	}
+	seed := rng.New(cfg.Seed)
+	for i := 0; i < cfg.LLCBanks; i++ {
+		bankCfg.Name = fmt.Sprintf("llc-bank%d", i)
+		b, err := cache.New(bankCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		cl.banks = append(cl.banks, b)
+	}
+	for i := 0; i < cfg.CoresPerCluster; i++ {
+		gid := coreIDBase + i
+		gen := workload.NewGenerator(profiles[i], gid, seed)
+		core, err := cpu.New(cfg.Core, gid, gen, cl, freqHz)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		cl.cores = append(cl.cores, core)
+	}
+	return cl, nil
+}
+
+// Profile returns the workload the cluster runs.
+func (cl *Cluster) Profile() *workload.Profile { return cl.profiles[0] }
+
+// Profiles returns the per-core workload assignment.
+func (cl *Cluster) Profiles() []*workload.Profile { return cl.profiles }
+
+// Frequency returns the core clock in Hz.
+func (cl *Cluster) Frequency() float64 { return cl.freqHz }
+
+// SetFrequency applies a DVFS transition to all cores. Caches, predictors
+// and DRAM state survive, so one warmed cluster can be swept across the
+// whole frequency range (the uncore runs on its own clock and is
+// unaffected, matching the paper's platform). Run a settle window before
+// the next measurement.
+func (cl *Cluster) SetFrequency(hz float64) {
+	cl.freqHz = hz
+	for _, c := range cl.cores {
+		c.SetFrequency(hz)
+	}
+}
+
+// Cores returns the core count.
+func (cl *Cluster) Cores() int { return len(cl.cores) }
+
+// bankOf selects the LLC bank for a line address and returns the
+// bank-local address (bank-selection bits stripped, so the bank's full set
+// index space is used).
+func (cl *Cluster) bankOf(addr uint64) (bank int, bankAddr uint64) {
+	line := addr >> cl.lineBits
+	n := uint64(len(cl.banks))
+	return int(line % n), (line / n) << cl.lineBits
+}
+
+// unbank reconstructs the original address from a bank-local one (used for
+// LLC victim writebacks).
+func (cl *Cluster) unbank(bank int, bankAddr uint64) uint64 {
+	line := bankAddr >> cl.lineBits
+	return (line*uint64(len(cl.banks)) + uint64(bank)) << cl.lineBits
+}
+
+// Access implements cpu.MemSystem: a demand request (write=false) or a
+// posted L1 writeback (write=true) below the L1s.
+func (cl *Cluster) Access(coreID int, addr uint64, write bool, nowNs float64) float64 {
+	if write {
+		cl.llcWrites++
+	} else {
+		cl.llcReads++
+	}
+	bank, bankAddr := cl.bankOf(addr)
+	arrive := cl.xbar.Request(bank, math.Max(nowNs, 0))
+	ready := arrive + cl.llcLatNs
+
+	res := cl.banks[bank].Access(bankAddr, write)
+	if res.Hit {
+		// Served by the LLC; one crossbar traversal back to the core.
+		return ready + cl.xbar.TraversalNs
+	}
+	if res.Victim.Valid && res.Victim.Dirty {
+		// LLC dirty victim is written back to DRAM (posted).
+		cl.mem.Submit(cl.unbank(bank, res.Victim.Addr), true, ready)
+		cl.dramWrites++
+	}
+	if write {
+		// L1 writeback that missed the LLC: allocate the full line in
+		// place (the data comes from the core), no DRAM fetch needed.
+		cl.llcWriteFills++
+		return ready + cl.xbar.TraversalNs
+	}
+	// Demand fill from DRAM.
+	done := cl.mem.Submit(addr, false, ready)
+	cl.dramReads++
+	return done + cl.llcLatNs + cl.xbar.TraversalNs
+}
+
+// Warm implements cpu.WarmMem: touch LLC tags (and nothing else) during
+// functional warming.
+func (cl *Cluster) Warm(coreID int, addr uint64, write bool) {
+	bank, bankAddr := cl.bankOf(addr)
+	cl.banks[bank].Access(bankAddr, write)
+}
+
+// FastForward functionally warms the whole cluster by n instructions per
+// core (caches and branch predictors train; no timing).
+func (cl *Cluster) FastForward(nPerCore uint64) {
+	// Interleave in chunks so the shared LLC sees a realistic mix.
+	const chunk = 8192
+	remaining := make([]uint64, len(cl.cores))
+	for i := range remaining {
+		remaining[i] = nPerCore
+	}
+	for {
+		active := false
+		for i, c := range cl.cores {
+			if remaining[i] == 0 {
+				continue
+			}
+			n := uint64(chunk)
+			if n > remaining[i] {
+				n = remaining[i]
+			}
+			c.FastForward(n, cl)
+			remaining[i] -= n
+			active = true
+		}
+		if !active {
+			return
+		}
+	}
+}
+
+// Run advances every core by the given number of core cycles, interleaving
+// instruction-by-instruction so shared-resource contention is honored: the
+// core with the smallest local clock always steps next.
+func (cl *Cluster) Run(cycles int64) {
+	targets := make([]int64, len(cl.cores))
+	for i, c := range cl.cores {
+		targets[i] = c.Cycle() + cycles
+	}
+	for {
+		best := -1
+		var bestCycle int64 = math.MaxInt64
+		for i, c := range cl.cores {
+			if cy := c.Cycle(); cy < targets[i] && cy < bestCycle {
+				best, bestCycle = i, cy
+			}
+		}
+		if best < 0 {
+			return
+		}
+		cl.cores[best].Step()
+	}
+}
+
+// ResetStats clears all measurement counters (cores, LLC, crossbar, DRAM)
+// while preserving microarchitectural state.
+func (cl *Cluster) ResetStats() {
+	for _, c := range cl.cores {
+		c.ResetStats()
+	}
+	for _, b := range cl.banks {
+		b.ResetStats()
+	}
+	cl.xbar.ResetStats()
+	cl.mem.ResetStats()
+	cl.llcWriteFills = 0
+	cl.llcReads = 0
+	cl.llcWrites = 0
+	cl.dramReads = 0
+	cl.dramWrites = 0
+}
+
+// Measurement is the outcome of one detailed measurement window.
+type Measurement struct {
+	Cycles     int64   // core cycles in the window
+	FreqHz     float64 // core clock
+	DurationNs float64 // wall-clock duration of the window
+
+	Instructions     uint64 // committed, all cores
+	UserInstructions uint64
+
+	PerCore []cpu.Stats
+	LLC     cache.Stats
+	DRAM    dram.Stats
+
+	XbarTransfers uint64
+	// LLCReads / LLCWrites split the LLC traffic by direction (demand
+	// reads vs L1 writebacks), for the uncore energy model.
+	LLCReads  uint64
+	LLCWrites uint64
+}
+
+// UIPC returns the cluster's aggregate user instructions per core-cycle —
+// the paper's performance metric (Sec. IV).
+func (m Measurement) UIPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.UserInstructions) / float64(m.Cycles)
+}
+
+// UIPS returns aggregate user instructions per second.
+func (m Measurement) UIPS() float64 { return m.UIPC() * m.FreqHz }
+
+// ReadBandwidth returns DRAM read bandwidth in bytes/s over the window.
+func (m Measurement) ReadBandwidth() float64 {
+	if m.DurationNs <= 0 {
+		return 0
+	}
+	return float64(m.DRAM.BytesRead) / (m.DurationNs * 1e-9)
+}
+
+// WriteBandwidth returns DRAM write bandwidth in bytes/s over the window.
+func (m Measurement) WriteBandwidth() float64 {
+	if m.DurationNs <= 0 {
+		return 0
+	}
+	return float64(m.DRAM.BytesWritten) / (m.DurationNs * 1e-9)
+}
+
+// LLCAccessRate returns LLC accesses per second over the window.
+func (m Measurement) LLCAccessRate() float64 {
+	if m.DurationNs <= 0 {
+		return 0
+	}
+	return float64(m.LLC.Accesses) / (m.DurationNs * 1e-9)
+}
+
+// Measure runs one detailed window of the given length in core cycles and
+// returns its measurement (counters are reset at the start of the window).
+func (cl *Cluster) Measure(cycles int64) Measurement {
+	cl.ResetStats()
+	cl.Run(cycles)
+	m := Measurement{
+		Cycles:     cycles,
+		FreqHz:     cl.freqHz,
+		DurationNs: float64(cycles) * 1e9 / cl.freqHz,
+		DRAM:       cl.mem.Stats(),
+	}
+	for _, c := range cl.cores {
+		s := c.Stats()
+		m.PerCore = append(m.PerCore, s)
+		m.Instructions += s.Instructions
+		m.UserInstructions += s.UserInstructions
+	}
+	for _, b := range cl.banks {
+		s := b.Stats()
+		m.LLC.Accesses += s.Accesses
+		m.LLC.Hits += s.Hits
+		m.LLC.Misses += s.Misses
+		m.LLC.Writebacks += s.Writebacks
+	}
+	m.XbarTransfers = cl.xbar.Transfers()
+	m.LLCReads = cl.llcReads
+	m.LLCWrites = cl.llcWrites
+	return m
+}

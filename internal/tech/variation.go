@@ -1,0 +1,130 @@
+package tech
+
+import (
+	"math"
+
+	"ntcsim/internal/rng"
+)
+
+// VariationModel captures within-die process variation, whose performance
+// impact is magnified at near-threshold voltages (paper Sec. II-A item 4:
+// "Part of the body bias range can be used to mitigate the effect of
+// variations that are magnified in near-threshold operation, leaving the
+// remaining part available for performance energy trade-off and power
+// management").
+//
+// Each core's effective threshold voltage deviates from nominal by a
+// Gaussian offset (random dopant fluctuation plus systematic components).
+// Because the alpha-power overdrive (Vdd - Vth) shrinks toward threshold,
+// a fixed Vth spread translates into a frequency spread that grows sharply
+// as Vdd drops — the defining NTC variation problem.
+type VariationModel struct {
+	// SigmaVthV is the per-core threshold-voltage standard deviation, V.
+	// 28nm within-die sigma is in the 15-30mV range.
+	SigmaVthV float64
+}
+
+// DefaultVariation returns a 28nm-class variation model.
+func DefaultVariation() VariationModel {
+	return VariationModel{SigmaVthV: 0.020}
+}
+
+// SampleOffsets draws per-core Vth offsets (V) deterministically.
+func (v VariationModel) SampleOffsets(cores int, seed *rng.Stream) []float64 {
+	s := seed.Derive("vth-variation")
+	offs := make([]float64, cores)
+	for i := range offs {
+		offs[i] = v.SigmaVthV * s.NormFloat64()
+	}
+	return offs
+}
+
+// CoreFrequency returns the maximum frequency of a core whose threshold is
+// shifted by offV, at supply vdd and body bias vbb.
+func (t *Technology) CoreFrequency(vdd, vbb, offV float64) float64 {
+	if !t.Functional(vdd) {
+		return 0
+	}
+	vth := t.VthEff(vbb) + offV
+	if vdd <= vth {
+		return 0
+	}
+	return t.K * math.Pow(vdd-vth, t.Alpha) / vdd
+}
+
+// ChipFrequency returns the chip-level frequency under variation: the chip
+// clock is set by its slowest core (all cores share one clock domain per
+// cluster; we conservatively take the chip minimum).
+func (t *Technology) ChipFrequency(vdd, vbb float64, offsets []float64) float64 {
+	min := math.Inf(1)
+	for _, off := range offsets {
+		f := t.CoreFrequency(vdd, vbb, off)
+		if f < min {
+			min = f
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// CompensationBias returns the per-core forward body bias that cancels a
+// positive (slow-core) threshold offset, clamped to the technology's
+// range. Fast cores (negative offset) receive no compensation (their
+// leakage is instead reduced by leaving them unbiased).
+func (t *Technology) CompensationBias(offV float64) float64 {
+	if offV <= 0 || t.VthShiftPerVolt == 0 {
+		return 0
+	}
+	return t.ClampBias(offV / t.VthShiftPerVolt)
+}
+
+// VariationImpact summarizes the variation analysis at one supply point.
+type VariationImpact struct {
+	Vdd float64
+	// NominalHz is the variation-free frequency at (Vdd, 0).
+	NominalHz float64
+	// UncompensatedHz is the chip frequency with variation and no
+	// compensation (slowest core limits).
+	UncompensatedHz float64
+	// CompensatedHz applies per-core compensation bias to slow cores.
+	CompensatedHz float64
+	// LossUncompensated / LossCompensated are fractional frequency losses
+	// versus nominal.
+	LossUncompensated float64
+	LossCompensated   float64
+	// MaxBiasUsedV is the largest per-core compensation bias.
+	MaxBiasUsedV float64
+}
+
+// AnalyzeVariation evaluates the chip-frequency impact of variation at a
+// supply voltage, with and without per-core body-bias compensation.
+func (t *Technology) AnalyzeVariation(vdd float64, offsets []float64) VariationImpact {
+	imp := VariationImpact{
+		Vdd:       vdd,
+		NominalHz: t.MaxFrequency(vdd, 0),
+	}
+	imp.UncompensatedHz = t.ChipFrequency(vdd, 0, offsets)
+
+	// Compensated: each slow core gets its own cancellation bias.
+	min := math.Inf(1)
+	for _, off := range offsets {
+		bias := t.CompensationBias(off)
+		if bias > imp.MaxBiasUsedV {
+			imp.MaxBiasUsedV = bias
+		}
+		f := t.CoreFrequency(vdd, bias, off)
+		if f < min {
+			min = f
+		}
+	}
+	if !math.IsInf(min, 1) {
+		imp.CompensatedHz = min
+	}
+	if imp.NominalHz > 0 {
+		imp.LossUncompensated = 1 - imp.UncompensatedHz/imp.NominalHz
+		imp.LossCompensated = 1 - imp.CompensatedHz/imp.NominalHz
+	}
+	return imp
+}

@@ -1,0 +1,127 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ntcsim/internal/rng"
+)
+
+func TestSampleOffsetsDeterministicAndScaled(t *testing.T) {
+	v := DefaultVariation()
+	a := v.SampleOffsets(36, rng.New(7))
+	b := v.SampleOffsets(36, rng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("offset sampling not deterministic")
+		}
+	}
+	// Empirical sigma over a large sample should match.
+	big := v.SampleOffsets(100000, rng.New(11))
+	sum, sumSq := 0.0, 0.0
+	for _, x := range big {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(big))
+	sigma := math.Sqrt(sumSq/n - (sum/n)*(sum/n))
+	if math.Abs(sigma-v.SigmaVthV) > 0.1*v.SigmaVthV {
+		t.Fatalf("empirical sigma %.4f, want %.4f", sigma, v.SigmaVthV)
+	}
+}
+
+func TestVariationImpactGrowsTowardThreshold(t *testing.T) {
+	// The defining NTC property: a fixed Vth spread costs far more
+	// frequency (fractionally) at 0.5V than at 1.1V.
+	te := FDSOI28()
+	offsets := DefaultVariation().SampleOffsets(36, rng.New(3))
+	low := te.AnalyzeVariation(0.5, offsets)
+	high := te.AnalyzeVariation(1.1, offsets)
+	if low.LossUncompensated <= high.LossUncompensated {
+		t.Fatalf("variation loss at 0.5V (%.3f) should exceed 1.1V (%.3f)",
+			low.LossUncompensated, high.LossUncompensated)
+	}
+	if low.LossUncompensated < 0.10 {
+		t.Fatalf("NT variation loss = %.3f, expected substantial (>10%%)", low.LossUncompensated)
+	}
+	if high.LossUncompensated > 0.15 {
+		t.Fatalf("nominal-voltage variation loss = %.3f, expected small", high.LossUncompensated)
+	}
+}
+
+func TestCompensationRecoversFrequency(t *testing.T) {
+	// Paper Sec. II-A item 4: body bias mitigates NT variation.
+	te := FDSOI28()
+	offsets := DefaultVariation().SampleOffsets(36, rng.New(5))
+	imp := te.AnalyzeVariation(0.5, offsets)
+	if imp.CompensatedHz <= imp.UncompensatedHz {
+		t.Fatal("compensation should recover frequency")
+	}
+	if imp.LossCompensated > 0.02 {
+		t.Fatalf("residual loss after compensation = %.3f, want ~0", imp.LossCompensated)
+	}
+	if imp.MaxBiasUsedV <= 0 || imp.MaxBiasUsedV > te.BodyBiasMax {
+		t.Fatalf("compensation bias %.3fV out of range", imp.MaxBiasUsedV)
+	}
+	// The bias budget spent on variation is small relative to the range
+	// ("leaving the remaining part available for performance energy
+	// trade-off").
+	if imp.MaxBiasUsedV > 1.5 {
+		t.Fatalf("compensation consumed %.2fV of bias, implausibly much", imp.MaxBiasUsedV)
+	}
+}
+
+func TestCompensationBias(t *testing.T) {
+	te := FDSOI28()
+	// 85mV slow offset needs exactly 1V of FBB.
+	if got := te.CompensationBias(0.085); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("bias for 85mV = %v, want 1V", got)
+	}
+	// Fast cores are left alone.
+	if got := te.CompensationBias(-0.05); got != 0 {
+		t.Fatalf("fast core should get no bias, got %v", got)
+	}
+}
+
+func TestChipFrequencyIsMinimum(t *testing.T) {
+	te := FDSOI28()
+	offsets := []float64{0, 0.03, -0.02}
+	chip := te.ChipFrequency(0.6, 0, offsets)
+	slowest := te.CoreFrequency(0.6, 0, 0.03)
+	if chip != slowest {
+		t.Fatalf("chip frequency %v should equal slowest core %v", chip, slowest)
+	}
+	if te.ChipFrequency(0.6, 0, nil) != 0 {
+		t.Fatal("no cores -> no frequency")
+	}
+}
+
+func TestSevereVariationCanKillNTCore(t *testing.T) {
+	// A +80mV outlier at 0.5V pushes a core's overdrive to almost nothing.
+	te := FDSOI28()
+	f := te.CoreFrequency(0.5, 0, 0.08)
+	nominal := te.MaxFrequency(0.5, 0)
+	if f > nominal/5 {
+		t.Fatalf("severe outlier core at 0.5V = %.1f MHz, expected crippled (<%.1f)",
+			f/1e6, nominal/5e6)
+	}
+	// The same outlier at 1.1V barely matters.
+	if te.CoreFrequency(1.1, 0, 0.08) < te.MaxFrequency(1.1, 0)*0.8 {
+		t.Fatal("the same offset should be benign at nominal voltage")
+	}
+}
+
+func TestQuickCompensatedNeverSlower(t *testing.T) {
+	te := FDSOI28()
+	err := quick.Check(func(seed uint64, v8 uint8) bool {
+		vdd := 0.5 + float64(v8)/255*0.9
+		offsets := DefaultVariation().SampleOffsets(36, rng.New(seed))
+		imp := te.AnalyzeVariation(vdd, offsets)
+		return imp.CompensatedHz >= imp.UncompensatedHz-1e-6 &&
+			imp.UncompensatedHz <= imp.NominalHz+1e-6
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace recording and replay. A recorded trace captures the exact dynamic
+// instruction stream a generator (or any other source) produced, in a
+// compact varint-delta binary format, so experiments can be replayed
+// bit-identically without the generator — and so externally captured
+// traces can drive the simulator.
+//
+// Format: a magic header, then one record per instruction:
+//
+//	kind+flags byte | pc delta (varint, zigzag) | addr (varint, loads and
+//	stores only) | depdist byte | branch id (varint, branches only)
+
+const traceMagic = "ntctrace1\n"
+
+// TraceWriter streams instructions to an io.Writer.
+type TraceWriter struct {
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+	err    error
+}
+
+// NewTraceWriter writes the header and returns the writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+const (
+	flagTaken = 1 << 3
+	flagOS    = 1 << 4
+)
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one instruction.
+func (t *TraceWriter) Write(in *Instr) error {
+	if t.err != nil {
+		return t.err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	head := byte(in.Kind)
+	if in.Taken {
+		head |= flagTaken
+	}
+	if in.OS {
+		head |= flagOS
+	}
+	t.err = t.w.WriteByte(head)
+	if t.err != nil {
+		return t.err
+	}
+	n := binary.PutUvarint(buf[:], zigzag(int64(in.PC)-int64(t.lastPC)))
+	if _, t.err = t.w.Write(buf[:n]); t.err != nil {
+		return t.err
+	}
+	t.lastPC = in.PC
+	if in.Kind == Load || in.Kind == Store {
+		n = binary.PutUvarint(buf[:], in.Addr)
+		if _, t.err = t.w.Write(buf[:n]); t.err != nil {
+			return t.err
+		}
+	}
+	if t.err = t.w.WriteByte(byte(in.DepDist)); t.err != nil {
+		return t.err
+	}
+	if in.Kind == Branch {
+		n = binary.PutUvarint(buf[:], uint64(in.BranchID))
+		if _, t.err = t.w.Write(buf[:n]); t.err != nil {
+			return t.err
+		}
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of instructions written.
+func (t *TraceWriter) Count() uint64 { return t.n }
+
+// Flush drains the buffer; call it before closing the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Record captures n instructions from src into w.
+func Record(src interface{ Next(*Instr) }, n uint64, w io.Writer) error {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	var in Instr
+	for i := uint64(0); i < n; i++ {
+		src.Next(&in)
+		if err := tw.Write(&in); err != nil {
+			return fmt.Errorf("workload: recording instruction %d: %w", i, err)
+		}
+	}
+	return tw.Flush()
+}
+
+// TraceReader decodes a recorded trace.
+type TraceReader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+// NewTraceReader validates the header and returns the reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if string(head) != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (bad magic %q)", head)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Read decodes the next instruction; io.EOF signals a clean end.
+func (t *TraceReader) Read(in *Instr) error {
+	head, err := t.r.ReadByte()
+	if err != nil {
+		return err // io.EOF passes through
+	}
+	*in = Instr{
+		Kind:  Kind(head & 0x7),
+		Taken: head&flagTaken != 0,
+		OS:    head&flagOS != 0,
+	}
+	if in.Kind > Branch {
+		return fmt.Errorf("workload: corrupt trace: kind %d", in.Kind)
+	}
+	d, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return fmt.Errorf("workload: corrupt trace: %w", err)
+	}
+	t.lastPC = uint64(int64(t.lastPC) + unzigzag(d))
+	in.PC = t.lastPC
+	if in.Kind == Load || in.Kind == Store {
+		if in.Addr, err = binary.ReadUvarint(t.r); err != nil {
+			return fmt.Errorf("workload: corrupt trace: %w", err)
+		}
+	}
+	dep, err := t.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("workload: corrupt trace: %w", err)
+	}
+	in.DepDist = int(dep)
+	if in.Kind == Branch {
+		id, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return fmt.Errorf("workload: corrupt trace: %w", err)
+		}
+		in.BranchID = int32(id)
+	}
+	return nil
+}
+
+// Replayer is an in-memory instruction source that loops over a recorded
+// trace — a drop-in replacement for a Generator (implements the simulator's
+// InstrSource contract).
+type Replayer struct {
+	instrs []Instr
+	pos    int
+	loops  uint64
+}
+
+// NewReplayer loads a whole trace into memory.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replayer{}
+	var in Instr
+	for {
+		err := tr.Read(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.instrs = append(rep.instrs, in)
+	}
+	if len(rep.instrs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return rep, nil
+}
+
+// Next supplies the next instruction, looping at the end of the trace.
+func (r *Replayer) Next(in *Instr) {
+	*in = r.instrs[r.pos]
+	r.pos++
+	if r.pos == len(r.instrs) {
+		r.pos = 0
+		r.loops++
+	}
+}
+
+// Len returns the trace length in instructions.
+func (r *Replayer) Len() int { return len(r.instrs) }
+
+// Loops returns how many times the trace has wrapped.
+func (r *Replayer) Loops() uint64 { return r.loops }

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ntcsim/internal/rng"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(WebSearch(), 0, rng.New(7))
+	var buf bytes.Buffer
+	const n = 20000
+	if err := Record(g, n, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying must reproduce the generator's stream exactly.
+	ref := NewGenerator(WebSearch(), 0, rng.New(7))
+	tr, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got Instr
+	for i := 0; i < n; i++ {
+		ref.Next(&want)
+		if err := tr.Read(&got); err != nil {
+			t.Fatalf("instruction %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("instruction %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if err := tr.Read(&got); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	g := NewGenerator(MediaStreaming(), 0, rng.New(9))
+	var buf bytes.Buffer
+	const n = 50000
+	if err := Record(g, n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / n
+	// Varint deltas keep the common case to a handful of bytes.
+	if perInstr > 8 {
+		t.Fatalf("trace uses %.1f bytes/instruction, want compact (<8)", perInstr)
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	g := NewGenerator(VMLowMem(), 0, rng.New(11))
+	var buf bytes.Buffer
+	if err := Record(g, 1000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 1000 {
+		t.Fatalf("trace length = %d", rep.Len())
+	}
+	var first, in Instr
+	rep.Next(&first)
+	for i := 1; i < 1000; i++ {
+		rep.Next(&in)
+	}
+	// The 1001st instruction wraps to the start.
+	rep.Next(&in)
+	if in != first {
+		t.Fatal("replayer should loop to the first instruction")
+	}
+	if rep.Loops() != 1 {
+		t.Fatalf("loops = %d", rep.Loops())
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("junkjunkjunkjunk"))); err == nil {
+		t.Fatal("bad magic should be rejected")
+	}
+	if _, err := NewReplayer(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should be rejected")
+	}
+	// Valid header, truncated body.
+	var buf bytes.Buffer
+	g := NewGenerator(WebSearch(), 0, rng.New(1))
+	if err := Record(g, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	rep, err := NewReplayer(bytes.NewReader(trunc))
+	if err == nil && rep.Len() >= 100 {
+		t.Fatal("truncated trace should fail or shorten")
+	}
+}
+
+func TestTraceEmptyRecord(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGenerator(WebSearch(), 0, rng.New(1))
+	if err := Record(g, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplayer(&buf); err == nil {
+		t.Fatal("zero-instruction trace should be rejected by the replayer")
+	}
+}
