@@ -1,0 +1,34 @@
+# ntcsim build/test entry points.
+#
+#   make test          vet + full test suite (tier-1 gate)
+#   make race          race-detector pass over every package
+#   make bench         full benchmark suite (regenerates the paper's numbers)
+#   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
+#   make golden-update regenerate cmd/ntcsim golden files after an
+#                      intentional model change (review the diff!)
+
+GO ?= go
+
+.PHONY: all build test race bench bench-sweep golden-update
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+bench-sweep:
+	$(GO) test -run xxx -bench 'BenchmarkSweep(Many)?Parallel' .
+
+golden-update:
+	$(GO) test ./cmd/ntcsim -run TestGolden -update
+	@git --no-pager diff --stat cmd/ntcsim/testdata/golden || true

@@ -11,6 +11,7 @@
 package ntcsim_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -330,6 +331,49 @@ func BenchmarkAblationChipScaling(b *testing.B) {
 		drop = 100 * (1 - per(2)/per(1))
 	}
 	b.ReportMetric(drop, "2cluster-drop-pct")
+}
+
+// BenchmarkSweepParallel measures the parallel sweep engine at different
+// worker counts over an 8-point grid. Output is bit-identical at every
+// worker count (see internal/core/parallel_test.go), so this isolates the
+// wall-clock effect: on a multi-core host jobs=4 should finish the grid
+// at least ~2x faster than jobs=1; on a single-core host the sub-benchmarks
+// converge instead of regressing.
+func BenchmarkSweepParallel(b *testing.B) {
+	grid := []float64{0.1e9, 0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9}
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := benchExplorer(b)
+				e.Jobs = jobs
+				sw, err := e.Sweep(workload.WebSearch(), grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sw.Points) != len(grid) {
+					b.Fatal("short sweep")
+				}
+			}
+			b.ReportMetric(float64(len(grid))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkSweepManyParallel measures the workload-level fan-out: all six
+// scale-out + VM workloads swept over a small grid, serial vs parallel.
+func BenchmarkSweepManyParallel(b *testing.B) {
+	grid := []float64{0.3e9, 1.0e9, 2.0e9}
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := benchExplorer(b)
+				e.Jobs = jobs
+				if _, err := e.SweepMany(workload.All(), grid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationPrefetch measures the stream-prefetcher extension on

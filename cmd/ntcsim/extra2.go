@@ -26,6 +26,7 @@ func cmdScaling(newExplorer func() (*core.Explorer, error)) error {
 		if err != nil {
 			return err
 		}
+		ch.SetJobs(e.Jobs)
 		ch.FastForward(e.WarmInstr / 2)
 		ch.Run(10000)
 		ms, dstats := ch.Measure(40000)
@@ -173,6 +174,7 @@ func cmdHetero(newExplorer func() (*core.Explorer, error)) error {
 		if err != nil {
 			return err
 		}
+		ch.SetJobs(e.Jobs)
 		ch.FastForward(e.WarmInstr / 2)
 		ch.Run(20000)
 		ms, _ := ch.Measure(60000)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"text/tabwriter"
 
 	"ntcsim/internal/core"
+	"ntcsim/internal/parallel"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/workload"
 )
@@ -39,6 +41,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0x5eed, "simulation seed")
 	ckptDir := fs.String("ckptdir", "", "directory for warmed-cluster checkpoints (reused across runs)")
 	outPath := fs.String("out", "", "also write all output to this file")
+	jobs := fs.Int("jobs", 0, "max concurrent sweep evaluations; 0 = all CPUs (output is identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +65,7 @@ func run(args []string) error {
 		}
 		e.Sim.Seed = *seed
 		e.CheckpointDir = *ckptDir
+		e.Jobs = *jobs
 		switch *fidelity {
 		case "quick":
 		case "paper":
@@ -184,17 +188,13 @@ func cmdTable1() error {
 func cmdFig2(newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Figure 2: 99th-percentile latency normalized to QoS vs core frequency ==")
 	freqs := core.DefaultFrequencies()
-	sweeps := make([]*core.Sweep, 0, 4)
-	for _, p := range workload.ScaleOutProfiles() {
-		e, err := newExplorer()
-		if err != nil {
-			return err
-		}
-		sw, err := e.Sweep(p, freqs)
-		if err != nil {
-			return err
-		}
-		sweeps = append(sweeps, sw)
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	sweeps, err := e.SweepMany(workload.ScaleOutProfiles(), freqs)
+	if err != nil {
+		return err
 	}
 	w := table()
 	fmt.Fprint(w, "freq_MHz")
@@ -215,17 +215,13 @@ func cmdFig2(newExplorer func() (*core.Explorer, error)) error {
 func cmdEfficiency(newExplorer func() (*core.Explorer, error), profiles []*workload.Profile, title string) error {
 	fmt.Fprintln(out, "==", title, "==")
 	freqs := core.DefaultFrequencies()
-	sweeps := make([]*core.Sweep, 0, len(profiles))
-	for _, p := range profiles {
-		e, err := newExplorer()
-		if err != nil {
-			return err
-		}
-		sw, err := e.Sweep(p, freqs)
-		if err != nil {
-			return err
-		}
-		sweeps = append(sweeps, sw)
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	sweeps, err := e.SweepMany(profiles, freqs)
+	if err != nil {
+		return err
 	}
 	scopes := []struct {
 		name string
@@ -261,17 +257,18 @@ func cmdEfficiency(newExplorer func() (*core.Explorer, error), profiles []*workl
 func cmdOpt(newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Sec. V: QoS-feasible minimum frequencies and optimal efficiency points ==")
 	freqs := core.DefaultFrequencies()
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	sweeps, err := e.SweepMany(workload.All(), freqs)
+	if err != nil {
+		return err
+	}
 	w := table()
 	fmt.Fprintln(w, "workload\tmin_QoS_MHz\tbest_cores_MHz\tbest_SoC_MHz\tbest_server_MHz\tserver_eff_GUIPS/W")
-	for _, p := range workload.All() {
-		e, err := newExplorer()
-		if err != nil {
-			return err
-		}
-		sw, err := e.Sweep(p, freqs)
-		if err != nil {
-			return err
-		}
+	for i, p := range workload.All() {
+		sw := sweeps[i]
 		o := sw.Optima()
 		min := "-"
 		if o.HasFeasible {
@@ -320,14 +317,23 @@ func cmdAblation(newExplorer func() (*core.Explorer, error)) error {
 		boost.Vdd, boost.BaseFreqHz/1e6, boost.BoostFreqHz/1e6, boost.Speedup,
 		boost.BasePowerW, boost.BoostPowerW, boost.TransitionTime)
 
-	// LPDDR4 what-if on the most memory-hungry scale-out app.
+	// LPDDR4 what-if on the most memory-hungry scale-out app; the two
+	// memory configurations are independent full sweeps, so they run
+	// concurrently under the -jobs budget.
 	freqs := []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9}
-	ddr4Sweep, err := e.Sweep(workload.MediaStreaming(), freqs)
-	if err != nil {
-		return err
-	}
+	var ddr4Sweep, lpSweep *core.Sweep
 	lpE := e.LPDDR4Explorer()
-	lpSweep, err := lpE.Sweep(workload.MediaStreaming(), freqs)
+	err = parallel.Do(context.Background(), e.Jobs,
+		func(context.Context) error {
+			var err error
+			ddr4Sweep, err = e.Sweep(workload.MediaStreaming(), freqs)
+			return err
+		},
+		func(context.Context) error {
+			var err error
+			lpSweep, err = lpE.Sweep(workload.MediaStreaming(), freqs)
+			return err
+		})
 	if err != nil {
 		return err
 	}
@@ -357,11 +363,18 @@ func cmdAblation(newExplorer func() (*core.Explorer, error)) error {
 	e8.Sim.LLC.CapacityBytes = 8 << 20 // keep the core:cache ratio
 	e8.Platform.Clusters = 4           // roughly iso-area
 	e8.Platform.CoresPerCl = 8
-	s4, err := e4.Sweep(workload.WebSearch(), freqs)
-	if err != nil {
-		return err
-	}
-	s8, err := e8.Sweep(workload.WebSearch(), freqs)
+	var s4, s8 *core.Sweep
+	err = parallel.Do(context.Background(), e.Jobs,
+		func(context.Context) error {
+			var err error
+			s4, err = e4.Sweep(workload.WebSearch(), freqs)
+			return err
+		},
+		func(context.Context) error {
+			var err error
+			s8, err = e8.Sweep(workload.WebSearch(), freqs)
+			return err
+		})
 	if err != nil {
 		return err
 	}

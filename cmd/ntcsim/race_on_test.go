@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with -race. The
+// golden suite regenerates every figure end-to-end (~minutes under the
+// detector) and checks output drift, not concurrency, so it skips itself;
+// the sweep engine's race coverage lives in internal/core's smoke test and
+// internal/sim's concurrent-restore test.
+const raceEnabled = true

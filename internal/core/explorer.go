@@ -18,11 +18,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"ntcsim/internal/parallel"
 	"ntcsim/internal/platform"
 	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
 	"ntcsim/internal/sampling"
 	"ntcsim/internal/sim"
 	"ntcsim/internal/tech"
@@ -59,6 +62,11 @@ type Explorer struct {
 	// calibration temperature. Near threshold the correction is tiny; at
 	// the top of the DVFS range it raises core power by several percent.
 	Thermal *thermal.Model
+	// Jobs bounds how many sweep points (and, in SweepMany, workloads)
+	// evaluate concurrently; <= 0 means GOMAXPROCS. Every point runs from
+	// the same warmed checkpoint under its own RNG substream split by point
+	// index, so results are bit-identical for every Jobs setting.
+	Jobs int
 }
 
 // NewExplorer returns an explorer for the paper's default platform with
@@ -123,10 +131,24 @@ type Sweep struct {
 }
 
 // Sweep runs the workload across the given core frequencies (Hz) and
-// returns the evaluated points in ascending frequency order. The cluster
-// is warmed once and retargeted across frequencies via DVFS transitions,
-// so microarchitectural state carries over exactly as on real hardware.
+// returns the evaluated points in ascending frequency order.
+//
+// Execution model: the cluster is warmed once at the 2GHz baseline and the
+// baseline throughput is sampled; the resulting warmed state is captured as
+// an in-memory checkpoint, the common launch state for every operating
+// point. Each point then restores its own private cluster from that
+// checkpoint, reseeds the workload generators with the substream split by
+// point index (rng.Stream.Split), applies the DVFS transition, runs the
+// settle window and samples. Because a point's result is a pure function of
+// (checkpoint, frequency, point index), points evaluate concurrently — up
+// to Jobs workers — with output bit-identical to the serial loop.
 func (e *Explorer) Sweep(p *workload.Profile, freqsHz []float64) (*Sweep, error) {
+	return e.SweepContext(context.Background(), p, freqsHz)
+}
+
+// SweepContext is Sweep with cancellation: a cancelled ctx stops the sweep
+// between points (a point mid-simulation runs to completion).
+func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsHz []float64) (*Sweep, error) {
 	if len(freqsHz) == 0 {
 		return nil, fmt.Errorf("core: empty frequency list")
 	}
@@ -155,26 +177,59 @@ func (e *Explorer) Sweep(p *workload.Profile, freqsHz []float64) (*Sweep, error)
 		BaselineUIPS: baseRes.MeanUIPS() * clusters,
 	}
 
-	// Sweep top-down so each transition is a small step from warmed state.
-	for i := len(freqs) - 1; i >= 0; i-- {
-		f := freqs[i]
-		cl.SetFrequency(f)
-		cl.Run(e.SettleCycles)
-		res, err := sampling.Run(cl, cfg)
+	// The common launch state: warmed microarchitecture after the baseline
+	// measurement. Restores only read the checkpoint, so one copy serves
+	// all workers.
+	ck := cl.Checkpoint()
+	root := rng.New(e.Sim.Seed).Derive("sweep/" + p.Name)
+
+	points := make([]Point, len(freqs))
+	err = parallel.ForEach(ctx, len(freqs), e.Jobs, func(_ context.Context, i int) error {
+		pcl, err := sim.RestoreCluster(ck)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pt, err := e.evaluate(p, sw, f, res)
+		pcl.Reseed(root.Split(uint64(i)))
+		pcl.SetFrequency(freqs[i])
+		pcl.Run(e.SettleCycles)
+		res, err := sampling.Run(pcl, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sw.Points = append(sw.Points, pt)
+		pt, err := e.evaluate(p, sw, freqs[i], res)
+		if err != nil {
+			return err
+		}
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Reverse into ascending frequency order.
-	for i, j := 0, len(sw.Points)-1; i < j; i, j = i+1, j-1 {
-		sw.Points[i], sw.Points[j] = sw.Points[j], sw.Points[i]
-	}
+	sw.Points = points
 	return sw, nil
+}
+
+// SweepMany sweeps each profile over the same frequency grid, fanning the
+// workloads (and each workload's points) across the Jobs worker budget.
+// Results are returned in profile order and are bit-identical for any Jobs
+// setting. Profiles must be distinct when CheckpointDir is set, so their
+// checkpoint files do not collide.
+func (e *Explorer) SweepMany(profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
+	sweeps := make([]*Sweep, len(profiles))
+	err := parallel.ForEach(context.Background(), len(profiles), e.Jobs,
+		func(ctx context.Context, i int) error {
+			sw, err := e.SweepContext(ctx, profiles[i], freqsHz)
+			if err != nil {
+				return fmt.Errorf("%s: %w", profiles[i].Name, err)
+			}
+			sweeps[i] = sw
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return sweeps, nil
 }
 
 // evaluate attaches operating point, power and QoS to one sampled result.

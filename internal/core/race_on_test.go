@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with -race. The
+// exhaustive determinism tests re-run multi-second sweeps many times; under
+// the race detector they add minutes without adding coverage beyond what
+// TestParallelSweepRaceSmoke exercises, so they skip themselves.
+const raceEnabled = true

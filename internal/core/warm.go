@@ -57,11 +57,14 @@ func saveClusterCheckpoint(cl *sim.Cluster, path string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// A private temp file plus atomic rename keeps concurrent sweeps (e.g.
+	// SweepMany workers warming different workloads into one directory, or
+	// two processes sharing -ckptdir) from ever observing a torn file.
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := cl.Checkpoint().Save(f); err != nil {
 		f.Close()
 		os.Remove(tmp)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ntcsim/internal/cache"
+	"ntcsim/internal/rng"
 	"ntcsim/internal/workload"
 )
 
@@ -144,6 +145,15 @@ func flattenSlots(slots *[issueRingSize][4]uint8) []uint8 {
 func unflattenSlots(flat []uint8, slots *[issueRingSize][4]uint8) {
 	for i := range slots {
 		copy(slots[i][:], flat[4*i:4*i+4])
+	}
+}
+
+// ReseedWorkload re-derives the workload generator's random streams from
+// seed for this core's global ID (see workload.Generator.Reseed). It is a
+// no-op for non-generator instruction sources such as trace playback.
+func (c *Core) ReseedWorkload(seed *rng.Stream) {
+	if g, ok := c.gen.(*workload.Generator); ok {
+		g.Reseed(c.id, seed)
 	}
 }
 

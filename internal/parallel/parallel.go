@@ -1,0 +1,127 @@
+// Package parallel is the bounded worker pool that fans independent
+// simulation jobs across CPUs: sweep points within a frequency sweep,
+// workloads within a figure, clusters within a chip warmup.
+//
+// Every helper makes the same promise the rest of the simulator depends
+// on: the RESULT of a run is a pure function of the inputs, never of the
+// worker count or the scheduling order. The pool only decides WHEN a job
+// runs; each job writes to its own per-index slot and derives any
+// randomness it needs from its index (see rng.Stream.Split), so jobs=1,
+// jobs=8 and the serial loop produce bit-identical output. Errors are
+// reported deterministically too: after all claimed jobs finish, the
+// error of the lowest-numbered failed job is returned.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool width: GOMAXPROCS, i.e. as many
+// jobs in flight as the hardware runs threads.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers normalizes a user-provided worker count: values <= 0 select
+// DefaultWorkers.
+func Workers(n int) int {
+	if n <= 0 {
+		return DefaultWorkers()
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means DefaultWorkers). Indices are claimed in
+// ascending order. The first failure cancels ctx — jobs not yet started
+// are skipped, jobs already running finish — and after the pool drains
+// the lowest-index error is returned. A nil ctx is treated as
+// context.Background(); if ctx is already cancelled, no job runs and the
+// cause is returned.
+//
+// fn must confine its writes to per-index state (e.g. slot i of a
+// caller-owned slice): that is what makes the output independent of the
+// worker count.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: same claim order, no goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Do runs the given functions concurrently on at most workers goroutines
+// and returns the lowest-index error, with the same cancellation contract
+// as ForEach.
+func Do(ctx context.Context, workers int, fns ...func(ctx context.Context) error) error {
+	return ForEach(ctx, len(fns), workers, func(ctx context.Context, i int) error {
+		return fns[i](ctx)
+	})
+}
+
+// Map runs fn for every index and assembles the results in index order,
+// so the returned slice is identical for any worker count. On error the
+// partial results are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		counts := make([]atomic.Int64, n)
+		err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachResultIndependentOfWorkers(t *testing.T) {
+	// Each job writes a pure function of its index into its own slot; the
+	// assembled slice must be identical for every worker count.
+	n := 33
+	run := func(workers int) []int {
+		out := make([]int, n)
+		if err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 20, workers, func(_ context.Context, i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// Job 7 always starts before job 13 (ascending claim order), so it
+		// either cancels 13 or loses the race and both record; the lowest
+		// index wins either way.
+		if got := err.Error(); got != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %q, want job 7's", workers, got)
+		}
+	}
+}
+
+func TestForEachCancelSkipsUnstartedJobs(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1000, 2, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "early failure" {
+		t.Fatalf("err = %v", err)
+	}
+	if r := ran.Load(); r >= 1000 {
+		t.Fatalf("cancellation should skip most of the %d jobs, ran %d", 1000, r)
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 10, 4, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers may observe cancellation only after claiming; a strict zero is
+	// not guaranteed for the concurrent path, but the serial path checks
+	// first. Allow no more than the worker count.
+	if r := ran.Load(); r > 4 {
+		t.Fatalf("pre-cancelled context still ran %d jobs", r)
+	}
+}
+
+func TestForEachZeroJobsAndNilContext(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, nil); err != nil {
+		t.Fatalf("n=0 must not invoke fn: %v", err)
+	}
+	err := ForEach(nil, 3, 2, func(ctx context.Context, i int) error { //nolint:staticcheck // nil ctx is part of the contract
+		if ctx == nil {
+			return errors.New("ctx not defaulted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachActuallyRunsConcurrently(t *testing.T) {
+	// Two jobs that each wait for the other: only a pool width >= 2 lets
+	// them rendezvous.
+	gate := make(chan struct{}, 2)
+	err := ForEach(context.Background(), 2, 2, func(ctx context.Context, i int) error {
+		gate <- struct{}{}
+		select {
+		case <-waitFull(gate, 2):
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("jobs did not overlap")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFull resolves once ch holds want buffered items.
+func waitFull(ch chan struct{}, want int) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		for len(ch) < want {
+			time.Sleep(time.Millisecond)
+		}
+		close(done)
+	}()
+	return done
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do(context.Background(), 2,
+		func(context.Context) error { a.Store(true); return nil },
+		func(context.Context) error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("Do: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+	wantErr := errors.New("second fails")
+	err = Do(context.Background(), 1,
+		func(context.Context) error { return nil },
+		func(context.Context) error { return wantErr },
+	)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Do err = %v", err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	got, err := Map(context.Background(), 5, 3, func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("v%d", i); v != want {
+			t.Fatalf("slot %d = %q, want %q", i, v, want)
+		}
+	}
+	if _, err := Map(context.Background(), 3, 2, func(_ context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("boom %d", i)
+	}); err == nil {
+		t.Fatal("Map must propagate errors")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != DefaultWorkers() || Workers(-3) != DefaultWorkers() {
+		t.Fatal("non-positive counts must select the default")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("positive counts pass through")
+	}
+}

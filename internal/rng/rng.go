@@ -45,6 +45,23 @@ func (s *Stream) Derive(label string) *Stream {
 	return d
 }
 
+// Split returns substream i of s. The substream's seed is a pure function
+// of s's seed and the index — independent of how many substreams are taken,
+// in what order, or from which goroutine — which is what lets a parallel
+// sweep hand substream i to the worker evaluating point i and still produce
+// bit-identical results at any worker count. The index is passed through a
+// SplitMix64-style finalizer before mixing so that adjacent indices yield
+// decorrelated streams. Split does not consume state from s.
+func (s *Stream) Split(i uint64) *Stream {
+	z := i + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	d := &Stream{state: s.state ^ z}
+	d.Uint64()
+	return d
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -334,3 +334,71 @@ func BenchmarkZipfNext(b *testing.B) {
 		_ = z.Next()
 	}
 }
+
+func TestSplitDeterministicAndOrderIndependent(t *testing.T) {
+	s := New(0x5eed)
+	a := s.Split(3)
+	// Splitting other indices first, or drawing from other substreams,
+	// must not change what index 3 yields.
+	s.Split(0).Uint64()
+	s.Split(7)
+	b := s.Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split(3) depends on split order at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotConsumeParentState(t *testing.T) {
+	a, b := New(42), New(42)
+	a.Split(1)
+	a.Split(2)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split must not advance the parent stream")
+		}
+	}
+}
+
+func TestSplitAdjacentIndicesDecorrelated(t *testing.T) {
+	s := New(1)
+	// Adjacent and distant indices must all give distinct streams with
+	// roughly unbiased bits.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 64; i++ {
+		v := s.Split(i).Uint64()
+		if seen[v] {
+			t.Fatalf("index %d collides with an earlier substream", i)
+		}
+		seen[v] = true
+	}
+	// Bitwise balance across the first draw of 4096 adjacent substreams.
+	ones := 0
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		v := s.Split(i).Uint64()
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	mean := float64(ones) / (n * 64)
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("first-draw bit density %.4f, want ~0.5", mean)
+	}
+}
+
+func TestSplitDiffersFromParentAndSiblings(t *testing.T) {
+	s := New(0xabc)
+	parent := New(0xabc)
+	child := s.Split(0)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if child.Uint64() == parent.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("substream 0 must not replay the parent stream")
+	}
+}

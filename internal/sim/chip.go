@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ntcsim/internal/dram"
+	"ntcsim/internal/parallel"
 	"ntcsim/internal/workload"
 )
 
@@ -49,6 +51,7 @@ func (m *SharedMemory) Config() dram.Config { return m.sys.Config() }
 type Chip struct {
 	clusters []*Cluster
 	mem      *SharedMemory
+	jobs     int
 }
 
 // NewChip builds n identical clusters running profile, all sharing one
@@ -107,11 +110,22 @@ func (c *Chip) Cluster(i int) *Cluster { return c.clusters[i] }
 // Clusters returns the cluster count.
 func (c *Chip) Clusters() int { return len(c.clusters) }
 
-// FastForward functionally warms every cluster.
+// SetJobs bounds the worker count for the chip's parallel phases
+// (currently functional warmup). n <= 0 selects GOMAXPROCS. The result of
+// every phase is bit-identical for any setting; jobs only bounds
+// concurrency.
+func (c *Chip) SetJobs(n int) { c.jobs = n }
+
+// FastForward functionally warms every cluster. During functional warming
+// a cluster touches only its own cores, generators and LLC banks — never
+// the shared DRAM system — so clusters warm concurrently (bounded by
+// SetJobs) with results identical to the serial loop.
 func (c *Chip) FastForward(nPerCore uint64) {
-	for _, cl := range c.clusters {
-		cl.FastForward(nPerCore)
-	}
+	_ = parallel.ForEach(context.Background(), len(c.clusters), c.jobs,
+		func(_ context.Context, i int) error {
+			c.clusters[i].FastForward(nPerCore)
+			return nil
+		})
 }
 
 // SetFrequency retargets every core on the chip.

@@ -381,6 +381,27 @@ func (g *Generator) State() GeneratorState {
 	}
 }
 
+// Reseed re-derives every internal random stream from seed with the same
+// labeling scheme NewGenerator uses for (profile, coreID), while preserving
+// all positional state (PC, stream cursor, OS mode, produced count) and the
+// structural tables (Zipf CDFs, per-branch biases). A sweep engine hands
+// each operating point its own substream (rng.Stream.Split by point index)
+// so the points draw decorrelated randomness yet remain bit-reproducible
+// regardless of evaluation order or worker count.
+func (g *Generator) Reseed(coreID int, seed *rng.Stream) {
+	root := seed.Derive(fmt.Sprintf("%s/core%d", g.p.Name, coreID))
+	g.mix.SetState(root.Derive("mix").State())
+	g.dep.SetState(root.Derive("dep").State())
+	g.brs.SetState(root.Derive("branch").State())
+	g.mem.SetState(root.Derive("mem").State())
+	g.code.SetState(root.Derive("code").State())
+	g.os.SetState(root.Derive("os").State())
+	g.branchPick.SetStreamState(root.Derive("branch-pick").State())
+	g.coldZipf.SetStreamState(root.Derive("cold").State())
+	g.hotZipf.SetStreamState(root.Derive("hot").State())
+	g.codeTarget.SetStreamState(root.Derive("code-target").State())
+}
+
 // Restore resumes from a state captured with State on a generator built
 // with the same construction parameters.
 func (g *Generator) Restore(st GeneratorState) {
