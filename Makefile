@@ -1,24 +1,33 @@
 # ntcsim build/test entry points.
 #
 #   make test          vet + full test suite (tier-1 gate)
+#   make vet           static analysis only
+#   make cover         test with coverage profile + per-function summary
 #   make race          race-detector pass over every package
 #   make bench         full benchmark suite (regenerates the paper's numbers)
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
+#   make bench-obs     observability disabled-path overhead benchmark
 #   make golden-update regenerate cmd/ntcsim golden files after an
 #                      intentional model change (review the diff!)
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sweep golden-update
+.PHONY: all build vet test cover race bench bench-sweep bench-obs golden-update
 
 all: build
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
 	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 30
 
 race:
 	$(GO) test -race ./...
@@ -29,6 +38,10 @@ bench:
 bench-sweep:
 	$(GO) test -run xxx -bench 'BenchmarkSweep(Many)?Parallel' .
 
+bench-obs:
+	$(GO) test -run xxx -bench BenchmarkObsOverhead .
+
 golden-update:
 	$(GO) test ./cmd/ntcsim -run TestGolden -update
+	$(GO) test ./cmd/ntcsim -run TestMetricsGolden -update
 	@git --no-pager diff --stat cmd/ntcsim/testdata/golden || true

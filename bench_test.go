@@ -376,6 +376,56 @@ func BenchmarkSweepManyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead quantifies the observability layer's
+// disabled-path cost: the instrumented-but-disabled hot loop (the nil
+// checks the obs layer added to cpu.load and dram.Submit) against the
+// same loop with instrumentation enabled. The disabled path IS the seed
+// hot path — goldens prove byte-for-byte output equality — so
+// `disabled-ns/kcycle` is the number to compare against pre-obs baselines,
+// and `enabled-overhead-pct` documents what turning everything on costs.
+// The acceptance bound is <2% for the disabled path; the alternating
+// rounds share one cluster pair so allocator and cache effects cancel.
+func BenchmarkObsOverhead(b *testing.B) {
+	const runCycles = 20_000
+	mk := func(enable bool) *sim.Cluster {
+		cl, err := sim.NewCluster(sim.DefaultConfig(), workload.WebSearch(), 2e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if enable {
+			cl.EnableObs()
+		}
+		cl.FastForward(400_000)
+		cl.Run(10_000)
+		return cl
+	}
+	disabled := mk(false)
+	enabled := mk(true)
+	var disabledNs, enabledNs time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		disabled.Run(runCycles)
+		t1 := time.Now()
+		enabled.Run(runCycles)
+		t2 := time.Now()
+		disabledNs += t1.Sub(t0)
+		enabledNs += t2.Sub(t1)
+	}
+	b.StopTimer()
+	kcycles := float64(runCycles) / 1e3 * float64(b.N)
+	b.ReportMetric(float64(disabledNs)/kcycles, "disabled-ns/kcycle")
+	b.ReportMetric(float64(enabledNs)/kcycles, "enabled-ns/kcycle")
+	overhead := 100 * (float64(enabledNs)/float64(disabledNs) - 1)
+	b.ReportMetric(overhead, "enabled-overhead-pct")
+	// The <2% acceptance bound applies to the fully-enabled hot loop (the
+	// disabled path is the seed path by construction). Only meaningful
+	// once enough rounds ran to average out scheduler noise.
+	if b.N >= 10 && overhead > 2.0 {
+		b.Errorf("enabled observability overhead %.2f%% exceeds the 2%% budget", overhead)
+	}
+}
+
 // BenchmarkAblationPrefetch measures the stream-prefetcher extension on
 // the streaming workload.
 func BenchmarkAblationPrefetch(b *testing.B) {

@@ -21,8 +21,10 @@ import (
 	"io"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"ntcsim/internal/core"
+	"ntcsim/internal/obs"
 	"ntcsim/internal/parallel"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/workload"
@@ -42,6 +44,10 @@ func run(args []string) error {
 	ckptDir := fs.String("ckptdir", "", "directory for warmed-cluster checkpoints (reused across runs)")
 	outPath := fs.String("out", "", "also write all output to this file")
 	jobs := fs.Int("jobs", 0, "max concurrent sweep evaluations; 0 = all CPUs (output is identical for any value)")
+	metricsPath := fs.String("metrics", "", "write a metrics snapshot (deterministic-ordered JSON) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-viewer JSON (chrome://tracing, Perfetto) to this file")
+	progress := fs.Bool("progress", false, "live per-point progress with ETA on stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,11 +57,34 @@ func run(args []string) error {
 			return err
 		}
 		defer f.Close()
-		out = io.MultiWriter(os.Stdout, f)
+		out = obs.NewSyncWriter(io.MultiWriter(os.Stdout, f))
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return fmt.Errorf("missing command (fig1|table1|fig2|fig3|fig4|opt|ablation|variation|darksilicon|governor|interference|scaling|workloads|prefetch|ports|hetero|warm|all)")
+	}
+
+	var registry *obs.Registry
+	if *metricsPath != "" || *pprofAddr != "" {
+		registry = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr)
+	}
+	if *pprofAddr != "" {
+		if _, err := startPprof(*pprofAddr, registry); err != nil {
+			return err
+		}
 	}
 
 	newExplorer := func() (*core.Explorer, error) {
@@ -66,6 +95,9 @@ func run(args []string) error {
 		e.Sim.Seed = *seed
 		e.CheckpointDir = *ckptDir
 		e.Jobs = *jobs
+		e.Obs = registry
+		e.Tracer = tracer
+		e.Progress = prog
 		switch *fidelity {
 		case "quick":
 		case "paper":
@@ -77,76 +109,120 @@ func run(args []string) error {
 	}
 
 	cmd := fs.Arg(0)
+	var cmdFn func() error
 	switch cmd {
 	case "fig1":
-		return cmdFig1()
+		cmdFn = cmdFig1
 	case "table1":
-		return cmdTable1()
+		cmdFn = cmdTable1
 	case "fig2":
-		return cmdFig2(newExplorer)
+		cmdFn = func() error { return cmdFig2(newExplorer) }
 	case "fig3":
-		return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
-	case "fig4":
-		return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
-	case "opt":
-		return cmdOpt(newExplorer)
-	case "ablation":
-		return cmdAblation(newExplorer)
-	case "variation":
-		return cmdVariation(*seed)
-	case "darksilicon":
-		return cmdDarkSilicon(newExplorer)
-	case "governor":
-		return cmdGovernor(newExplorer, *seed)
-	case "interference":
-		return cmdInterference(newExplorer)
-	case "scaling":
-		return cmdScaling(newExplorer)
-	case "workloads":
-		return cmdWorkloads(newExplorer)
-	case "prefetch":
-		return cmdPrefetch(newExplorer)
-	case "ports":
-		return cmdPorts(newExplorer)
-	case "hetero":
-		return cmdHetero(newExplorer)
-	case "warm":
-		return cmdWarm(newExplorer, *ckptDir)
-	case "all":
-		for _, f := range []func() error{
-			cmdFig1,
-			cmdTable1,
-			func() error { return cmdFig2(newExplorer) },
-			func() error {
-				return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
-			},
-			func() error {
-				return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
-			},
-			func() error { return cmdOpt(newExplorer) },
-			func() error { return cmdAblation(newExplorer) },
-			func() error { return cmdVariation(*seed) },
-			func() error { return cmdDarkSilicon(newExplorer) },
-			func() error { return cmdGovernor(newExplorer, *seed) },
-			func() error { return cmdInterference(newExplorer) },
-			func() error { return cmdScaling(newExplorer) },
-			func() error { return cmdWorkloads(newExplorer) },
-			func() error { return cmdPrefetch(newExplorer) },
-			func() error { return cmdPorts(newExplorer) },
-			func() error { return cmdHetero(newExplorer) },
-		} {
-			if err := f(); err != nil {
-				return err
-			}
+		cmdFn = func() error {
+			return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
 		}
-		return nil
+	case "fig4":
+		cmdFn = func() error {
+			return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+		}
+	case "opt":
+		cmdFn = func() error { return cmdOpt(newExplorer) }
+	case "ablation":
+		cmdFn = func() error { return cmdAblation(newExplorer) }
+	case "variation":
+		cmdFn = func() error { return cmdVariation(*seed) }
+	case "darksilicon":
+		cmdFn = func() error { return cmdDarkSilicon(newExplorer) }
+	case "governor":
+		cmdFn = func() error { return cmdGovernor(newExplorer, *seed) }
+	case "interference":
+		cmdFn = func() error { return cmdInterference(newExplorer) }
+	case "scaling":
+		cmdFn = func() error { return cmdScaling(newExplorer) }
+	case "workloads":
+		cmdFn = func() error { return cmdWorkloads(newExplorer) }
+	case "prefetch":
+		cmdFn = func() error { return cmdPrefetch(newExplorer) }
+	case "ports":
+		cmdFn = func() error { return cmdPorts(newExplorer) }
+	case "hetero":
+		cmdFn = func() error { return cmdHetero(newExplorer) }
+	case "warm":
+		cmdFn = func() error { return cmdWarm(newExplorer, *ckptDir) }
+	case "all":
+		cmdFn = func() error {
+			for _, f := range []func() error{
+				cmdFig1,
+				cmdTable1,
+				func() error { return cmdFig2(newExplorer) },
+				func() error {
+					return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
+				},
+				func() error {
+					return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+				},
+				func() error { return cmdOpt(newExplorer) },
+				func() error { return cmdAblation(newExplorer) },
+				func() error { return cmdVariation(*seed) },
+				func() error { return cmdDarkSilicon(newExplorer) },
+				func() error { return cmdGovernor(newExplorer, *seed) },
+				func() error { return cmdInterference(newExplorer) },
+				func() error { return cmdScaling(newExplorer) },
+				func() error { return cmdWorkloads(newExplorer) },
+				func() error { return cmdPrefetch(newExplorer) },
+				func() error { return cmdPorts(newExplorer) },
+				func() error { return cmdHetero(newExplorer) },
+			} {
+				if err := f(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+
+	// The whole command runs inside one top-level trace span (lane 0), so
+	// even sweep-free commands produce a non-empty trace.
+	start := time.Now()
+	cmdErr := cmdFn()
+	tracer.Complete("cmd", cmd, 0, start, time.Since(start), nil)
+	// A trace that failed to write must fail the run, not vanish silently;
+	// the command's own error still takes precedence.
+	if err := tracer.Close(); err != nil && cmdErr == nil {
+		cmdErr = err
+	}
+	if cmdErr != nil {
+		return cmdErr
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, registry); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// out is the destination of every report; -out tees it into a file.
-var out io.Writer = os.Stdout
+// writeMetrics writes the registry snapshot to path. The JSON key order
+// is deterministic, so counter-class sections diff cleanly across runs.
+func writeMetrics(path string, r *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// out is the destination of every report; -out tees it into a file. All
+// drivers — including those that fan work across goroutines — must write
+// through it, and it is wrapped in an ordered writer so concurrent writes
+// can never interleave mid-line (see TestOutWriterNoInterleave).
+var out io.Writer = obs.NewSyncWriter(os.Stdout)
 
 func table() *tabwriter.Writer {
 	return tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"ntcsim/internal/obs"
+)
+
+// startPprof serves net/http/pprof and expvar on addr for the lifetime of
+// the process and returns the bound address (addr may use port 0). The
+// listener is opened synchronously so a bad address fails the run
+// immediately; the metrics registry (when enabled) is published as the
+// "ntcsim" expvar, giving /debug/vars a live snapshot alongside the Go
+// runtime's memstats.
+func startPprof(addr string, r *obs.Registry) (string, error) {
+	if r != nil && expvar.Get("ntcsim") == nil {
+		// Publish panics on duplicate names; the guard keeps repeated
+		// in-process runs (tests) safe.
+		expvar.Publish("ntcsim", expvar.Func(func() any { return r.Snapshot() }))
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pprof: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -21,7 +21,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"ntcsim/internal/obs"
 	"ntcsim/internal/parallel"
 	"ntcsim/internal/platform"
 	"ntcsim/internal/qos"
@@ -67,6 +69,18 @@ type Explorer struct {
 	// the same warmed checkpoint under its own RNG substream split by point
 	// index, so results are bit-identical for every Jobs setting.
 	Jobs int
+
+	// Obs, when set, enables the observability layer: per-layer counters
+	// are harvested into the registry at each point's completion, and the
+	// worker pool reports queue-wait/busy timings. Counter-class metrics
+	// stay bit-identical for every Jobs setting; leaving Obs nil keeps the
+	// sweep on the uninstrumented fast path.
+	Obs *obs.Registry
+	// Tracer, when set, records Chrome-trace spans for warmup, baseline,
+	// each sweep point and its sampling phases.
+	Tracer *obs.Tracer
+	// Progress, when set, reports one line per completed sweep point.
+	Progress *obs.Progress
 }
 
 // NewExplorer returns an explorer for the paper's default platform with
@@ -160,16 +174,25 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		}
 	}
 
+	// The sweep's own trace lane carries the serial prelude (warmup,
+	// baseline); each point acquires a lane of its own below.
+	swLane := e.Tracer.AcquireLane()
+	defer e.Tracer.ReleaseLane(swLane)
+
+	warmStart := time.Now()
 	cl, err := e.warmedCluster(p)
 	if err != nil {
 		return nil, err
 	}
+	e.Tracer.Complete("sweep", "warm "+p.Name, swLane, warmStart, time.Since(warmStart), nil)
 
 	cfg := e.SamplingFor(p)
+	baseStart := time.Now()
 	baseRes, err := sampling.Run(cl, cfg)
 	if err != nil {
 		return nil, err
 	}
+	e.Tracer.Complete("sweep", "baseline "+p.Name, swLane, baseStart, time.Since(baseStart), nil)
 	clusters := float64(e.Platform.Clusters)
 	sw := &Sweep{
 		Workload:     p,
@@ -183,16 +206,35 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 	ck := cl.Checkpoint()
 	root := rng.New(e.Sim.Seed).Derive("sweep/" + p.Name)
 
+	e.Progress.Add(len(freqs))
+	if e.Obs != nil {
+		ctx = parallel.WithObserver(ctx, obs.PoolObserver(e.Obs, "sweep"))
+	}
 	points := make([]Point, len(freqs))
 	err = parallel.ForEach(ctx, len(freqs), e.Jobs, func(_ context.Context, i int) error {
+		label := fmt.Sprintf("%s @ %.0fMHz", p.Name, freqs[i]/1e6)
+		lane := e.Tracer.AcquireLane()
+		defer e.Tracer.ReleaseLane(lane)
+		ptStart := time.Now()
+
 		pcl, err := sim.RestoreCluster(ck)
 		if err != nil {
 			return err
 		}
 		pcl.Reseed(root.Split(uint64(i)))
+		if e.Obs != nil {
+			pcl.EnableObs()
+		}
 		pcl.SetFrequency(freqs[i])
 		pcl.Run(e.SettleCycles)
-		res, err := sampling.Run(pcl, cfg)
+		pcfg := cfg
+		if e.Tracer != nil {
+			pcfg.Phase = func(phase string, sample int, start time.Time, d time.Duration) {
+				e.Tracer.Complete("sample", phase, lane, start, d,
+					map[string]any{"sample": sample, "point": label})
+			}
+		}
+		res, err := sampling.Run(pcl, pcfg)
 		if err != nil {
 			return err
 		}
@@ -201,6 +243,16 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 			return err
 		}
 		points[i] = pt
+		if e.Obs != nil {
+			// Harvest exactly once per point cluster: the layer counters
+			// are cumulative since EnableObs.
+			pcl.HarvestObs(e.Obs)
+			harvestResult(e.Obs, p, freqs[i], res, pt)
+		}
+		d := time.Since(ptStart)
+		e.Tracer.Complete("point", label, lane, ptStart, d,
+			map[string]any{"freq_hz": freqs[i], "samples": len(res.Samples)})
+		e.Progress.Done(label, d)
 		return nil
 	})
 	if err != nil {

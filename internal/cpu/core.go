@@ -191,6 +191,11 @@ type Core struct {
 	misses []outstanding
 	pf     streamPrefetcher
 
+	// Observability (see observe.go): nil/zero until EnableObs, cumulative
+	// afterwards, never checkpointed or reset with Stats.
+	mshrOcc  []uint64
+	mshrFull uint64
+
 	lineBits     uint
 	cycleAtReset int64 // commit cycle at the last ResetStats
 	stats        Stats
@@ -469,6 +474,9 @@ func (c *Core) load(in *workload.Instr, issue int64) int64 {
 	}
 	// All MSHRs busy: the load waits for the earliest fill, then retries.
 	if len(c.misses) >= c.cfg.MSHREntries {
+		if c.mshrOcc != nil {
+			c.mshrFull++
+		}
 		issue = maxI64(issue, c.minMissCompletion())
 		c.releaseMisses(issue)
 	}
@@ -477,6 +485,9 @@ func (c *Core) load(in *workload.Instr, issue int64) int64 {
 	fill := maxI64(c.toCycles(fillNs), issue+int64(c.cfg.L1HitCycles))
 	c.stats.MemStall += uint64(fill - issue - int64(c.cfg.L1HitCycles))
 	c.misses = append(c.misses, outstanding{line: line, complete: fill})
+	if c.mshrOcc != nil {
+		c.mshrOcc[len(c.misses)]++
+	}
 	if res.Victim.Valid && res.Victim.Dirty {
 		// The evicted dirty line is written back to the LLC (posted).
 		c.mem.Access(c.id, res.Victim.Addr, true, c.ns(issue))

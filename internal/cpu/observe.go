@@ -1,0 +1,27 @@
+package cpu
+
+// Observability instrumentation for the core's MSHR file. Everything here
+// is cumulative since EnableObs and deliberately OUTSIDE the Stats /
+// ResetStats / checkpoint machinery: these counters feed the obs metrics
+// registry (harvested once per sweep point), not the paper's figures, and
+// restoring a checkpoint leaves them disabled until re-enabled. The hot
+// path (load) touches them only behind a nil check on mshrOcc, so the
+// disabled path is byte-for-byte the seed behaviour.
+
+// EnableObs turns on MSHR occupancy tracking for this core. The occupancy
+// histogram has one slot per possible outstanding-miss count [0,
+// MSHREntries], sampled at every new miss allocation.
+func (c *Core) EnableObs() {
+	if c.mshrOcc == nil {
+		c.mshrOcc = make([]uint64, c.cfg.MSHREntries+1)
+	}
+}
+
+// MSHROccupancy returns the occupancy sample counts (index = number of
+// outstanding misses after allocating a new one), or nil when
+// observability is off.
+func (c *Core) MSHROccupancy() []uint64 { return c.mshrOcc }
+
+// MSHRFullStalls returns how many loads found every MSHR busy and had to
+// wait for a fill before allocating.
+func (c *Core) MSHRFullStalls() uint64 { return c.mshrFull }

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"testing"
+
+	"ntcsim/internal/workload"
+)
+
+// memProfile is a load-heavy profile with a footprint far beyond the L1,
+// so loads miss and exercise the MSHR file.
+func memProfile() *workload.Profile {
+	p := aluProfile()
+	p.Name = "test-mem"
+	p.LoadFrac = 0.5
+	p.DataBytes = 64 << 20
+	p.HotBytes = 32 << 20
+	return p
+}
+
+// TestMSHRObservationDoesNotPerturbTiming: enabling observability must
+// leave the simulated timing and architectural statistics bit-identical —
+// the core of the disabled/enabled equivalence contract.
+func TestMSHRObservationDoesNotPerturbTiming(t *testing.T) {
+	run := func(enable bool) (Stats, int64) {
+		c := newCore(t, memProfile(), &fixedMem{latNs: 120}, 2e9, 42)
+		if enable {
+			c.EnableObs()
+		}
+		c.Run(50_000)
+		return c.Stats(), c.Cycle()
+	}
+	sOff, cycOff := run(false)
+	sOn, cycOn := run(true)
+	if sOff != sOn {
+		t.Fatalf("stats differ with observability on:\noff %+v\non  %+v", sOff, sOn)
+	}
+	if cycOff != cycOn {
+		t.Fatalf("cycle count differs: off %d, on %d", cycOff, cycOn)
+	}
+}
+
+// TestMSHROccupancyTracked: a miss-heavy run must record occupancy
+// samples, bounded by the MSHR size, and totals must be internally
+// consistent.
+func TestMSHROccupancyTracked(t *testing.T) {
+	c := newCore(t, memProfile(), &fixedMem{latNs: 400}, 2e9, 7)
+	c.EnableObs()
+	c.Run(50_000)
+	occ := c.MSHROccupancy()
+	if occ == nil {
+		t.Fatal("occupancy must be allocated after EnableObs")
+	}
+	if len(occ) != c.cfg.MSHREntries+1 {
+		t.Fatalf("occupancy has %d slots, want MSHREntries+1 = %d", len(occ), c.cfg.MSHREntries+1)
+	}
+	if occ[0] != 0 {
+		t.Fatalf("occupancy 0 sampled %d times; allocation always leaves >=1 in flight", occ[0])
+	}
+	var total uint64
+	for _, n := range occ {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("miss-heavy run recorded no occupancy samples")
+	}
+}
+
+// TestMSHRDisabledByDefault: without EnableObs the core must carry no
+// observability state at all.
+func TestMSHRDisabledByDefault(t *testing.T) {
+	c := newCore(t, memProfile(), &fixedMem{latNs: 120}, 2e9, 9)
+	c.Run(20_000)
+	if c.MSHROccupancy() != nil || c.MSHRFullStalls() != 0 {
+		t.Fatal("observability state must stay zero until EnableObs")
+	}
+}
+
+// TestMSHRSurvivesResetStats: obs counters are cumulative-since-enable,
+// deliberately outside the warmup/measure stats boundary.
+func TestMSHRSurvivesResetStats(t *testing.T) {
+	c := newCore(t, memProfile(), &fixedMem{latNs: 400}, 2e9, 11)
+	c.EnableObs()
+	c.Run(30_000)
+	var before uint64
+	for _, n := range c.MSHROccupancy() {
+		before += n
+	}
+	if before == 0 {
+		t.Fatal("no occupancy samples before reset")
+	}
+	c.ResetStats()
+	var after uint64
+	for _, n := range c.MSHROccupancy() {
+		after += n
+	}
+	if after < before {
+		t.Fatalf("ResetStats cleared obs counters: %d -> %d", before, after)
+	}
+}

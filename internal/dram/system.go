@@ -117,6 +117,10 @@ type System struct {
 
 	colsPerRow uint64
 	lastNowNs  float64
+
+	// Observability (see observe.go): nil until EnableObs, cumulative
+	// afterwards, never checkpointed or reset with Stats.
+	bankObs [][]BankCommandCounts
 }
 
 // New validates cfg and builds the system.
@@ -276,12 +280,14 @@ func (s *System) Submit(addr uint64, write bool, nowNs float64) float64 {
 
 	// Resolve the CAS issue time according to the row-buffer state.
 	var casIssue float64
+	var didAct, didPre bool
 	switch {
 	case b.openRow == loc.row:
 		s.stats.RowHits++
 		casIssue = math.Max(t, b.casReadyNs)
 	case b.openRow >= 0:
 		s.stats.RowConflicts++
+		didPre, didAct = true, true
 		pre := math.Max(t, b.preReadyNs)
 		act := s.actConstraints(ch, loc.rank, loc.group, pre+float64(tm.RP)*tck)
 		s.recordAct(ch, loc.rank, loc.group, act)
@@ -289,6 +295,7 @@ func (s *System) Submit(addr uint64, write bool, nowNs float64) float64 {
 		casIssue = act + float64(tm.RCD)*tck
 	default:
 		s.stats.RowClosed++
+		didAct = true
 		act := s.actConstraints(ch, loc.rank, loc.group, math.Max(t, b.actReadyNs))
 		s.recordAct(ch, loc.rank, loc.group, act)
 		b.lastActNs = act
@@ -352,6 +359,21 @@ func (s *System) Submit(addr uint64, write bool, nowNs float64) float64 {
 
 	if !s.cfg.OpenPage {
 		b.openRow = -1
+	}
+
+	if s.bankObs != nil {
+		bc := &s.bankObs[loc.chanIdx][loc.bankIdx]
+		if didAct {
+			bc.ACT++
+		}
+		if didPre || !s.cfg.OpenPage {
+			bc.PRE++
+		}
+		if write {
+			bc.WR++
+		} else {
+			bc.RD++
+		}
 	}
 
 	// Statistics.

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"ntcsim/internal/parallel"
+)
+
+// poolObserver records worker-pool job timings into a registry under a
+// scope prefix. All values are timing-class, so they land in the
+// snapshot's segregated non-deterministic section.
+type poolObserver struct {
+	r     *Registry
+	scope string
+}
+
+// PoolObserver returns a parallel.Observer that accumulates queue-wait
+// and per-worker busy time into r as timings named
+// "parallel.<scope>.queue_wait" and "parallel.<scope>.worker%02d.busy".
+// Install it with parallel.WithObserver on the context handed to the
+// pool. Returns nil (observe nothing) when r is nil.
+func PoolObserver(r *Registry, scope string) parallel.Observer {
+	if r == nil {
+		return nil
+	}
+	return &poolObserver{r: r, scope: scope}
+}
+
+// Job implements parallel.Observer.
+func (p *poolObserver) Job(i, worker int, queueWait, busy time.Duration) {
+	p.r.Timing("parallel." + p.scope + ".queue_wait").Observe(queueWait)
+	p.r.Timing(fmt.Sprintf("parallel.%s.worker%02d.busy", p.scope, worker)).Observe(busy)
+}

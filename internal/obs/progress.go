@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress prints one line per completed unit of work (a sweep point)
+// with a completion counter, the unit's own duration, elapsed wall time
+// and a rate-based ETA. It is safe for concurrent use from sweep
+// workers; a nil *Progress is a no-op so call sites need no guard.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	total int
+	done  int
+}
+
+// NewProgress returns a reporter writing to w (normally os.Stderr, so
+// progress never mixes into the result stream on stdout).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now()}
+}
+
+// Add announces n more units of expected work (called once per sweep
+// with the point count; fan-outs may call it repeatedly).
+func (p *Progress) Add(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// Done reports one completed unit that took d.
+func (p *Progress) Done(label string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	elapsed := time.Since(p.start)
+	eta := "?"
+	if p.done > 0 && p.total >= p.done {
+		remaining := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = remaining.Round(time.Second).String()
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %s  %s  elapsed %s  eta %s\n",
+		p.done, p.total, label,
+		d.Round(time.Millisecond),
+		elapsed.Round(time.Second), eta)
+}
+
+// SyncWriter serializes writes to an underlying writer so lines emitted
+// from concurrent goroutines never interleave mid-line. It wraps the
+// cmd/ntcsim output stream: drivers that print from worker callbacks
+// (ablation pairs, fan-outs) all funnel through one of these.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w. A nil w panics at first write, as with any writer.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer with whole-call atomicity.
+func (s *SyncWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer streams events in the Chrome trace-viewer JSON array format
+// (load the file in chrome://tracing or https://ui.perfetto.dev). Each
+// event is a complete-duration ("ph":"X") span with microsecond
+// timestamps relative to the tracer's start, placed on a numbered lane
+// (the trace "tid") so concurrent sweep points render as parallel tracks.
+//
+// Events are written incrementally under a mutex, so the file is useful
+// even for runs that are interrupted before Close (trace viewers accept
+// a truncated JSON array). Write errors are sticky: the first one is
+// remembered, later calls become no-ops, and Close reports it.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	start  time.Time
+	n      int    // events written, for comma placement
+	inUse  []bool // lane allocator state
+	closed bool
+	err    error
+}
+
+// traceEvent is one Chrome trace-viewer event.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer starts a trace writing to w. The caller must Close the
+// tracer to terminate the JSON document and learn about write errors.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: w, start: time.Now()}
+	t.write([]byte(`{"traceEvents":[`))
+	t.event(traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "ntcsim"},
+	})
+	return t
+}
+
+// write appends raw bytes, recording the first error. Callers hold t.mu
+// or have exclusive access (NewTracer).
+func (t *Tracer) write(b []byte) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = fmt.Errorf("obs: writing trace: %w", err)
+	}
+}
+
+// event encodes and appends one event. Caller holds t.mu (or is NewTracer).
+func (t *Tracer) event(ev traceEvent) {
+	if t.closed || t.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = fmt.Errorf("obs: encoding trace event: %w", err)
+		return
+	}
+	if t.n > 0 {
+		t.write([]byte(",\n"))
+	} else {
+		t.write([]byte("\n"))
+	}
+	t.write(b)
+	t.n++
+}
+
+// Complete records a finished span of duration d that started at start,
+// on the given lane. A nil tracer is a no-op, so call sites need no
+// enabled-check of their own.
+func (t *Tracer) Complete(cat, name string, lane int, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.event(traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		Ts:   float64(start.Sub(t.start)) / 1e3,
+		Dur:  float64(d) / 1e3,
+		Pid:  1,
+		Tid:  lane,
+		Args: args,
+	})
+}
+
+// Instant records a zero-duration marker event on the given lane.
+func (t *Tracer) Instant(cat, name string, lane int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.event(traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "i",
+		Ts:   float64(time.Since(t.start)) / 1e3,
+		Pid:  1,
+		Tid:  lane,
+		Args: args,
+	})
+}
+
+// AcquireLane reserves the smallest free lane number for a unit of
+// concurrent work (one sweep point, one workload fan-out). Using lanes
+// instead of goroutine/worker ids keeps nested worker pools from
+// colliding on the same track. Returns 0 on a nil tracer.
+func (t *Tracer) AcquireLane() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, used := range t.inUse {
+		if !used {
+			t.inUse[i] = true
+			return i + 1 // lane 0 is the top-level/driver track
+		}
+	}
+	t.inUse = append(t.inUse, true)
+	return len(t.inUse)
+}
+
+// ReleaseLane returns a lane from AcquireLane to the free pool.
+func (t *Tracer) ReleaseLane(lane int) {
+	if t == nil || lane <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i := lane - 1; i < len(t.inUse) {
+		t.inUse[i] = false
+	}
+}
+
+// Close terminates the JSON document and returns the first error
+// encountered while writing the trace (including the closing bytes).
+// Events recorded after Close are dropped, not errors.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.write([]byte("\n]}\n"))
+	t.closed = true
+	return t.err
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers returns the default pool width: GOMAXPROCS, i.e. as many
@@ -54,13 +55,32 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	if workers > n {
 		workers = n
 	}
+	// Observation is opt-in via WithObserver: resolved once per run, so
+	// the common unobserved path pays a single context lookup, and each
+	// job pays clock reads only when someone is listening.
+	obs := observerFrom(ctx)
+	run := fn
+	var poolStart time.Time
+	if obs != nil {
+		poolStart = time.Now()
+		run = func(ctx context.Context, i int) error {
+			jobStart := time.Now()
+			err := fn(ctx, i)
+			busy := time.Since(jobStart)
+			obs.Job(i, WorkerID(ctx), jobStart.Sub(poolStart), busy)
+			return err
+		}
+	}
 	if workers == 1 {
 		// Serial fast path: same claim order, no goroutines.
+		if obs != nil {
+			ctx = context.WithValue(ctx, workerKey{}, 0)
+		}
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := run(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -75,19 +95,23 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			wctx := ctx
+			if obs != nil {
+				wctx = context.WithValue(ctx, workerKey{}, worker)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := run(wctx, i); err != nil {
 					errs[i] = err
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
