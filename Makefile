@@ -1,18 +1,27 @@
 # ntcsim build/test entry points.
 #
-#   make test          vet + full test suite (tier-1 gate)
-#   make vet           static analysis only
+#   make test          vet + lint + full test suite (tier-1 gate)
+#   make vet           standard go vet only
+#   make lint          ntclint determinism/instrumentation analyzers
+#                      (wallclock, globalrand, maprange, panicmsg,
+#                      obsgate) via go vet -vettool; see internal/lint.
+#                      There is no lint-fix: violations are fixed by
+#                      moving the code behind the obs layer or — when
+#                      the invariant provably holds — annotating the
+#                      line with //ntclint:allow <analyzer> <reason>.
 #   make cover         test with coverage profile + per-function summary
 #   make race          race-detector pass over every package
 #   make bench         full benchmark suite (regenerates the paper's numbers)
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
 #   make bench-obs     observability disabled-path overhead benchmark
 #   make golden-update regenerate cmd/ntcsim golden files after an
-#                      intentional model change (review the diff!)
+#                      intentional model change (review the diff!).
+#                      Lint never rewrites sources, so golden outputs
+#                      are unaffected by it.
 
 GO ?= go
 
-.PHONY: all build vet test cover race bench bench-sweep bench-obs golden-update
+.PHONY: all build vet lint test cover race bench bench-sweep bench-obs golden-update
 
 all: build
 
@@ -22,7 +31,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+lint:
+	$(GO) build -o bin/ntclint ./cmd/ntclint
+	$(GO) vet -vettool=$(CURDIR)/bin/ntclint ./...
+
+test: vet lint
 	$(GO) test ./...
 
 cover:

@@ -1,0 +1,74 @@
+// Command ntclint runs ntcsim's static-analysis suite (internal/lint):
+// five analyzers that mechanically enforce the simulator's determinism
+// and instrumentation invariants — wallclock, globalrand, maprange,
+// panicmsg, obsgate. See the internal/lint package documentation for
+// what each rule encodes and the //ntclint:allow escape hatch.
+//
+// Two modes share one binary:
+//
+//	ntclint [dir]             standalone: lint every package of the
+//	                          enclosing module (default: the module
+//	                          containing the working directory)
+//	go vet -vettool=ntclint   as a vet tool: the go command drives the
+//	                          suite per compilation unit, including
+//	                          cached incremental re-runs
+//
+// The Makefile's `make lint` target (a dependency of `make test`) uses
+// the vettool form. Exit status is non-zero when any violation is
+// found.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ntcsim/internal/lint"
+)
+
+func main() {
+	if vetInvocation(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+	dir := "."
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-h" || len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: ntclint [module-dir]  (or: go vet -vettool=$(command -v ntclint) ./...)")
+		os.Exit(2)
+	}
+	if len(args) == 1 {
+		dir = args[0]
+	}
+	root, modpath, err := lint.FindModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntclint:", err)
+		os.Exit(1)
+	}
+	diags, err := lint.LintModule(root, modpath, lint.Analyzers()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntclint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ntclint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// vetInvocation reports whether the process was started by `go vet`,
+// which speaks the unitchecker protocol: a -V=full version handshake
+// and a -flags capability probe, then one run per compilation unit
+// with a single *.cfg argument.
+func vetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -120,7 +120,7 @@ func New(cfg Config) (*Cache, error) {
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic("cache: MustNew: " + err.Error())
 	}
 	return c
 }

@@ -179,19 +179,21 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 	swLane := e.Tracer.AcquireLane()
 	defer e.Tracer.ReleaseLane(swLane)
 
-	warmStart := time.Now()
+	warmStart := time.Now() //ntclint:allow wallclock trace span timestamps only; never reaches results
 	cl, err := e.warmedCluster(p)
 	if err != nil {
 		return nil, err
 	}
+	//ntclint:allow wallclock trace span duration only; never reaches results
 	e.Tracer.Complete("sweep", "warm "+p.Name, swLane, warmStart, time.Since(warmStart), nil)
 
 	cfg := e.SamplingFor(p)
-	baseStart := time.Now()
+	baseStart := time.Now() //ntclint:allow wallclock trace span timestamps only; never reaches results
 	baseRes, err := sampling.Run(cl, cfg)
 	if err != nil {
 		return nil, err
 	}
+	//ntclint:allow wallclock trace span duration only; never reaches results
 	e.Tracer.Complete("sweep", "baseline "+p.Name, swLane, baseStart, time.Since(baseStart), nil)
 	clusters := float64(e.Platform.Clusters)
 	sw := &Sweep{
@@ -215,7 +217,7 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		label := fmt.Sprintf("%s @ %.0fMHz", p.Name, freqs[i]/1e6)
 		lane := e.Tracer.AcquireLane()
 		defer e.Tracer.ReleaseLane(lane)
-		ptStart := time.Now()
+		ptStart := time.Now() //ntclint:allow wallclock trace/progress timestamps only; never reaches results
 
 		pcl, err := sim.RestoreCluster(ck)
 		if err != nil {
@@ -249,7 +251,7 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 			pcl.HarvestObs(e.Obs)
 			harvestResult(e.Obs, p, freqs[i], res, pt)
 		}
-		d := time.Since(ptStart)
+		d := time.Since(ptStart) //ntclint:allow wallclock trace/progress duration only; never reaches results
 		e.Tracer.Complete("point", label, lane, ptStart, d,
 			map[string]any{"freq_hz": freqs[i], "samples": len(res.Samples)})
 		e.Progress.Done(label, d)

@@ -170,7 +170,7 @@ func New(cfg Config) (*System, error) {
 func MustNew(cfg Config) *System {
 	s, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic("dram: MustNew: " + err.Error())
 	}
 	return s
 }

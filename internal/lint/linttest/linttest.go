@@ -1,0 +1,115 @@
+// Package linttest is the test harness for the ntclint analyzers: an
+// analysistest-style runner over GOPATH-shaped fixture trees. Fixture
+// packages live under <testdata>/src/<pkgpath>; a line expecting a
+// diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (multiple quoted regexps when one line yields several
+// findings). The harness loads and type-checks the fixtures with the
+// same standalone loader cmd/ntclint uses — stdlib from GOROOT/src,
+// fixture imports from the tree — so the tests exercise exactly the
+// production type-resolution path, offline.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ntcsim/internal/lint"
+)
+
+// wantRE extracts the expectation patterns of a // want comment:
+// backtick-quoted (the usual form, since messages often contain double
+// quotes) or double-quoted.
+var wantRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the fixtures' // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := lint.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		if entries, err := os.ReadDir(dir); err == nil {
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					return dir, true
+				}
+			}
+		}
+		return "", false
+	})
+	for _, pkgpath := range pkgpaths {
+		pkg, err := loader.Load(pkgpath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgpath, err)
+		}
+		diags, err := loader.Run(pkg, a)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+		}
+		checkPackage(t, loader, pkg, diags)
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func checkPackage(t *testing.T, loader *lint.Loader, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	// Collect expectations from every fixture file.
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		name := loader.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", name, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			k := key{name, i + 1}
+			for _, m := range wantRE.FindAllStringSubmatch(comment, -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+	// Every diagnostic must satisfy exactly one pending expectation.
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PanicmsgAnalyzer enforces the repo's guard-clause panic convention:
+// every panic message is a string that names its package, e.g.
+// panic("stats: Percentile of empty slice") or
+// panic(fmt.Sprintf("dram: time went backwards: %.3f", ns)). A panic
+// escaping a 40-minute sweep must say which layer's invariant broke;
+// bare panic(err) loses that context. String concatenation is accepted
+// when the leftmost operand is a conforming literal, e.g.
+// panic("cache: MustNew: " + err.Error()).
+var PanicmsgAnalyzer = &analysis.Analyzer{
+	Name: "panicmsg",
+	Doc: "enforce the panic(\"pkg: message\") convention; reject bare panic(err)\n\n" +
+		"Guard-clause panics must carry a string message prefixed with the package\n" +
+		"name (\"pkg: ...\" or \"pkg ...\"), built from a literal, fmt.Sprintf, or a\n" +
+		"concatenation whose leftmost operand is such a literal. panic(err) and\n" +
+		"panic(v) drop the layer context; wrap them, or annotate with\n" +
+		"//ntclint:allow panicmsg <reason>.",
+	Run: runPanicmsg,
+}
+
+func runPanicmsg(pass *analysis.Pass) (interface{}, error) {
+	pkg := pass.Pkg.Name()
+	if pkg == "main" {
+		// Command front-ends report through error returns and os.Exit;
+		// the "pkg:" prefix convention is about naming library layers.
+		return nil, nil
+	}
+	ai := newAllowIndex(pass, pass.Analyzer.Name)
+	eachNonTestFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if ai.allowed(call.Pos()) {
+				return true
+			}
+			msg, literal := stringPrefix(call.Args[0])
+			switch {
+			case !literal:
+				pass.Reportf(call.Pos(),
+					"panic message must be a string starting with %q naming the layer "+
+						"(the repo convention); got a non-literal argument — wrap it, "+
+						"e.g. panic(%q + err.Error())",
+					pkg+": ", pkg+": ")
+			case !strings.HasPrefix(msg, pkg+":") && !strings.HasPrefix(msg, pkg+" "):
+				pass.Reportf(call.Pos(),
+					"panic message %q must start with the package name (%q or %q) so a "+
+						"panic deep in a sweep names its layer",
+					msg, pkg+": ", pkg+" ")
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

@@ -1,0 +1,8 @@
+// Package grallowed exercises the globalrand allowlist: the test runs
+// with -globalrand.allow=grallowed (the role internal/rng plays in the
+// real tree), so the import is legal here.
+package grallowed
+
+import "math/rand"
+
+func use() float64 { return rand.Float64() }

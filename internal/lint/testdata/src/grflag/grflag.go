@@ -1,0 +1,16 @@
+// Package grflag exercises the globalrand analyzer: forbidden
+// randomness imports in a simulation package.
+package grflag
+
+import (
+	crand "crypto/rand" // want `import "crypto/rand" is forbidden in simulation packages`
+	"math/rand"         // want `import "math/rand" is forbidden in simulation packages`
+
+	v2 "math/rand/v2" //ntclint:allow globalrand fixture: exercising the annotated-import path
+)
+
+func use() float64 {
+	b := make([]byte, 1)
+	_, _ = crand.Read(b)
+	return rand.Float64() + v2.Float64()
+}

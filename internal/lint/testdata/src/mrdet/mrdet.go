@@ -1,0 +1,39 @@
+// Package mrdet exercises the maprange analyzer: the test runs with
+// -maprange.packages=mrdet, making this a deterministic package.
+package mrdet
+
+import "sort"
+
+// Keyed is a named map type: the analyzer sees through to the
+// underlying map.
+type Keyed map[string]float64
+
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in deterministic package mrdet`
+		total += v
+	}
+	return total
+}
+
+func badNamed(k Keyed) float64 {
+	var sum float64
+	for _, v := range k { // want `range over map in deterministic package mrdet`
+		sum += v
+	}
+	return sum
+}
+
+func sortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//ntclint:allow maprange collecting keys to sort; order is discarded
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys { // slice range: always fine
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package mrfree is outside the deterministic package list: map
+// iteration is unrestricted (the obs/parallel role in the real tree).
+package mrfree
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

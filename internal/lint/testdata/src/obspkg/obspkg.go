@@ -1,0 +1,40 @@
+// Package obspkg is a miniature stand-in for ntcsim/internal/obs: a
+// metric type with nil-receiver-safe methods, a constructor, and an
+// exported snapshot data carrier. The obsgate test runs with
+// -obsgate.obspkg=obspkg.
+package obspkg
+
+// Counter mimics obs.Counter. The exported field stands in for any
+// structural access the gate must reject outside this package.
+type Counter struct {
+	N uint64
+}
+
+// New returns a fresh counter (the blessed construction path).
+func New() *Counter { return &Counter{} }
+
+// Add is nil-receiver safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.N += n
+}
+
+// Value is nil-receiver safe.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.N
+}
+
+// Snapshot is a plain data carrier, exempt from the gate.
+type Snapshot struct {
+	Counters map[string]uint64
+}
+
+// Snap exports the counter state.
+func Snap(c *Counter) Snapshot {
+	return Snapshot{Counters: map[string]uint64{"n": c.Value()}}
+}

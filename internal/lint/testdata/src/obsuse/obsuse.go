@@ -1,0 +1,31 @@
+// Package obsuse consumes obspkg the way instrumented layers consume
+// internal/obs; the obsgate analyzer polices the boundary.
+package obsuse
+
+import "obspkg"
+
+func methodsAreFine() uint64 {
+	c := obspkg.New()
+	c.Add(1)
+	var disabled *obspkg.Counter // nil when observability is off
+	disabled.Add(1)              // nil-safe no-op: the whole point of the pattern
+	return c.Value() + disabled.Value()
+}
+
+func structuralAccess() uint64 {
+	lit := obspkg.Counter{} // want `composite literal of obs\.Counter outside internal/obs`
+	ptr := &obspkg.Counter{} // want `composite literal of obs\.Counter outside internal/obs`
+	lit.Add(1)
+	return ptr.N // want `direct field access on obs\.Counter outside internal/obs`
+}
+
+func snapshotsAreData() uint64 {
+	s := obspkg.Snap(obspkg.New())
+	empty := obspkg.Snapshot{}
+	return s.Counters["n"] + uint64(len(empty.Counters))
+}
+
+func annotated() *obspkg.Counter {
+	//ntclint:allow obsgate fixture: test helper constructing a known-good value
+	return &obspkg.Counter{}
+}

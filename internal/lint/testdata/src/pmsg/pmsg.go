@@ -1,0 +1,46 @@
+// Package pmsg exercises the panicmsg analyzer: the repo's
+// panic("pkg: message") guard-clause convention.
+package pmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBroken = errors.New("broken")
+
+func good(n int) {
+	if n < 0 {
+		panic("pmsg: n must be non-negative")
+	}
+	if n == 1 {
+		panic(fmt.Sprintf("pmsg: bad n %d", n))
+	}
+	if n == 2 {
+		// The space form covers messages like "pmsg %q: ...".
+		panic(fmt.Sprintf("pmsg %q: unsupported", "two"))
+	}
+	if n == 3 {
+		panic("pmsg: wrapped: " + errBroken.Error())
+	}
+}
+
+func bad(n int) {
+	if n < 0 {
+		panic(errBroken) // want `panic message must be a string starting with "pmsg: "`
+	}
+	if n == 1 {
+		panic("other: wrong layer") // want `panic message "other: wrong layer" must start with the package name`
+	}
+	if n == 2 {
+		panic(fmt.Sprintf("bad n %d", n)) // want `panic message "bad n %d" must start with the package name`
+	}
+	if n == 3 {
+		panic(fmt.Errorf("pmsg: %w", errBroken)) // fmt.Errorf with a conforming prefix is accepted
+	}
+}
+
+func annotated() {
+	//ntclint:allow panicmsg fixture: re-panicking a recovered value verbatim
+	panic(errBroken)
+}

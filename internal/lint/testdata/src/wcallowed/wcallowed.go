@@ -1,0 +1,10 @@
+// Package wcallowed exercises the wallclock allowlist: the test runs
+// with -wallclock.allow=wcallowed, so clock reads here are legal.
+package wcallowed
+
+import "time"
+
+func observe() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -62,11 +62,11 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	run := fn
 	var poolStart time.Time
 	if obs != nil {
-		poolStart = time.Now()
+		poolStart = time.Now() //ntclint:allow wallclock observer-gated queue-wait baseline; timing-class by charter
 		run = func(ctx context.Context, i int) error {
-			jobStart := time.Now()
+			jobStart := time.Now() //ntclint:allow wallclock observer-gated job timing; timing-class by charter
 			err := fn(ctx, i)
-			busy := time.Since(jobStart)
+			busy := time.Since(jobStart) //ntclint:allow wallclock observer-gated job timing; timing-class by charter
 			obs.Job(i, WorkerID(ctx), jobStart.Sub(poolStart), busy)
 			return err
 		}

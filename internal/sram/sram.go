@@ -87,7 +87,7 @@ func New(cfg Config) (*Model, error) {
 func MustNew(cfg Config) *Model {
 	m, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic("sram: MustNew: " + err.Error())
 	}
 	return m
 }
