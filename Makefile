@@ -10,6 +10,10 @@
 #                      the invariant provably holds — annotating the
 #                      line with //ntclint:allow <analyzer> <reason>.
 #   make cover         test with coverage profile + per-function summary
+#   make fault         fault-injection + robustness suite only (short
+#                      mode): sealed-checkpoint integrity, quarantine,
+#                      torn-write/ENOSPC recovery, single-flight warmup,
+#                      retry and cancellation semantics
 #   make race          race-detector pass over every package
 #   make bench         full benchmark suite (regenerates the paper's numbers)
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
@@ -21,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test cover race bench bench-sweep bench-obs golden-update
+.PHONY: all build vet lint test cover fault race bench bench-sweep bench-obs golden-update
 
 all: build
 
@@ -41,6 +45,11 @@ test: vet lint
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 30
+
+fault:
+	$(GO) test -short ./internal/faultfs
+	$(GO) test -short -run 'Sealed' ./internal/sim
+	$(GO) test -short -run 'Fingerprint|CacheKeyed|CorruptCheckpoint|StaleFingerprint|SaveFailure|SilentWrite|Quarantine|SingleFlight|StaleWarmupLock|CheckpointDir|Duplicate|Retry|Cancellation|StopsBetweenPoints|WarmupHonors' ./internal/core
 
 race:
 	$(GO) test -race ./...

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"ntcsim/internal/core"
@@ -59,14 +60,14 @@ func cmdDarkSilicon(newExplorer func() (*core.Explorer, error)) error {
 
 // cmdGovernor runs the energy-proportionality policy comparison over a
 // diurnal day of load (Sec. V-C's knobs, operationalized).
-func cmdGovernor(newExplorer func() (*core.Explorer, error), seed uint64) error {
+func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64) error {
 	fmt.Fprintln(out, "== Sec. V-C: DVFS governor policies over a diurnal day (web-search) ==")
 	e, err := newExplorer()
 	if err != nil {
 		return err
 	}
 	app := workload.WebSearch()
-	sweep, err := e.Sweep(app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
+	sweep, err := e.SweepContext(ctx, app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
 	if err != nil {
 		return err
 	}
@@ -110,11 +111,14 @@ func cmdGovernor(newExplorer func() (*core.Explorer, error), seed uint64) error 
 
 // cmdInterference quantifies the co-scheduling interference of
 // Sec. III-B1 and its relaxation at near-threshold frequencies.
-func cmdInterference(newExplorer func() (*core.Explorer, error)) error {
+func cmdInterference(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Sec. III-B1: co-scheduling interference (victim: web-search, aggressor: bubble) ==")
 	w := table()
 	fmt.Fprintln(w, "freq_MHz\tsolo_UIPC\tmixed_UIPC\tslowdown\tlat/QoS_solo\tlat/QoS_mixed\tviolated")
 	for _, f := range []float64{0.26e9, 0.5e9, 1.0e9, 2.0e9} {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		e, err := newExplorer()
 		if err != nil {
 			return err

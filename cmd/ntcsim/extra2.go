@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"ntcsim/internal/core"
@@ -12,7 +13,7 @@ import (
 // cmdScaling validates the single-cluster-times-9 methodology (DESIGN.md
 // simplification #2): per-cluster throughput as more clusters actively
 // share the four DRAM channels.
-func cmdScaling(newExplorer func() (*core.Explorer, error)) error {
+func cmdScaling(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== methodology check: per-cluster UIPC vs active clusters sharing DRAM ==")
 	e, err := newExplorer()
 	if err != nil {
@@ -22,6 +23,9 @@ func cmdScaling(newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(w, "clusters\tper-cluster_UIPC\tdrop_vs_1\tDRAM_read_GB/s")
 	var base float64
 	for _, n := range []int{1, 2, 3} {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		ch, err := sim.NewChip(e.Sim, workload.WebSearch(), n, 2e9)
 		if err != nil {
 			return err
@@ -51,7 +55,7 @@ func cmdScaling(newExplorer func() (*core.Explorer, error)) error {
 
 // cmdWorkloads prints the characterization table of the synthetic workload
 // clones — the evidence that they reproduce published scale-out behavior.
-func cmdWorkloads(newExplorer func() (*core.Explorer, error)) error {
+func cmdWorkloads(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== workload characterization at 2GHz (synthetic clones) ==")
 	e, err := newExplorer()
 	if err != nil {
@@ -60,6 +64,9 @@ func cmdWorkloads(newExplorer func() (*core.Explorer, error)) error {
 	w := table()
 	fmt.Fprintln(w, "workload\tUIPC/core\tL1D_hit\tL1I_hit\tLLC_hit\tmispredict\tDRAM_MPKI\tread_GB/s\tOS_frac\tstall(FE/ROB/dep/mem)")
 	for _, p := range append(workload.All(), workload.Extended()...) {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		cl, err := sim.NewCluster(e.Sim, p, 2e9)
 		if err != nil {
 			return err
@@ -83,11 +90,14 @@ func cmdWorkloads(newExplorer func() (*core.Explorer, error)) error {
 
 // cmdPrefetch runs the stream-prefetcher ablation: the paper's platform
 // has no L1D prefetcher; this extension quantifies what one would add.
-func cmdPrefetch(newExplorer func() (*core.Explorer, error)) error {
+func cmdPrefetch(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== extension ablation: L1D stream prefetcher on/off ==")
 	w := table()
 	fmt.Fprintln(w, "workload\tUIPC_off\tUIPC_on\tspeedup\textra_DRAM_traffic")
 	for _, p := range []*workload.Profile{workload.MediaStreaming(), workload.WebSearch()} {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		var uipc [2]float64
 		var dram [2]uint64
 		for i, pf := range []bool{false, true} {
@@ -115,11 +125,14 @@ func cmdPrefetch(newExplorer func() (*core.Explorer, error)) error {
 
 // cmdPorts runs the issue-port ablation: the unified 3-wide issue of the
 // calibrated model vs an A57-like per-class port split.
-func cmdPorts(newExplorer func() (*core.Explorer, error)) error {
+func cmdPorts(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== extension ablation: unified issue vs A57-like port split ==")
 	w := table()
 	fmt.Fprintln(w, "workload\tUIPC_unified\tUIPC_ports\tdelta")
 	for _, p := range []*workload.Profile{workload.WebSearch(), workload.VMHighMem()} {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		var uipc [2]float64
 		for i, ports := range []bool{false, true} {
 			e, err := newExplorer()
@@ -146,7 +159,7 @@ func cmdPorts(newExplorer func() (*core.Explorer, error)) error {
 // cmdHetero demonstrates per-cluster DVFS consolidation (Sec. V-C): a chip
 // slice hosting a latency-critical cluster at its QoS point alongside batch
 // VM clusters parked at the near-threshold optimum, with shared DRAM.
-func cmdHetero(newExplorer func() (*core.Explorer, error)) error {
+func cmdHetero(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Sec. V-C: heterogeneous per-cluster operation (3-cluster chip slice) ==")
 	e, err := newExplorer()
 	if err != nil {
@@ -170,6 +183,9 @@ func cmdHetero(newExplorer func() (*core.Explorer, error)) error {
 	w := table()
 	fmt.Fprintln(w, "scenario\tcluster\tworkload\tfreq_MHz\tUIPS_G\tcores_W")
 	for _, sc := range scenarios {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		ch, err := sim.NewHeteroChip(e.Sim, sc.specs)
 		if err != nil {
 			return err
@@ -198,18 +214,21 @@ func cmdHetero(newExplorer func() (*core.Explorer, error)) error {
 
 // cmdWarm pre-builds warmed-cluster checkpoints for every workload so that
 // subsequent runs with the same -ckptdir skip the warmup entirely.
-func cmdWarm(newExplorer func() (*core.Explorer, error), ckptDir string) error {
+func cmdWarm(ctx context.Context, newExplorer func() (*core.Explorer, error), ckptDir string) error {
 	if ckptDir == "" {
 		return fmt.Errorf("warm requires -ckptdir")
 	}
 	fmt.Fprintln(out, "== building warmed checkpoints ==")
 	for _, p := range append(workload.All(), workload.Extended()...) {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		e, err := newExplorer()
 		if err != nil {
 			return err
 		}
 		// A one-point sweep triggers warmup + checkpoint save.
-		if _, err := e.Sweep(p, []float64{2e9}); err != nil {
+		if _, err := e.SweepContext(ctx, p, []float64{2e9}); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "  %s: done\n", p.Name)

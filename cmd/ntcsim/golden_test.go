@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,20 +41,21 @@ func TestGolden(t *testing.T) {
 	if testing.Short() || raceEnabled {
 		t.Skip("golden regeneration is minutes of simulation; skipped in -short and -race runs")
 	}
+	ctx := context.Background()
 	cases := []struct {
 		name string
 		run  func() error
 	}{
 		{"fig1", cmdFig1},
 		{"table1", cmdTable1},
-		{"fig2", func() error { return cmdFig2(goldenExplorer) }},
+		{"fig2", func() error { return cmdFig2(ctx, goldenExplorer) }},
 		{"fig3", func() error {
-			return cmdEfficiency(goldenExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
+			return cmdEfficiency(ctx, goldenExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
 		}},
 		{"fig4", func() error {
-			return cmdEfficiency(goldenExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+			return cmdEfficiency(ctx, goldenExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
 		}},
-		{"opt", func() error { return cmdOpt(goldenExplorer) }},
+		{"opt", func() error { return cmdOpt(ctx, goldenExplorer) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

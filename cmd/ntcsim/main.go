@@ -16,10 +16,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -37,7 +40,14 @@ func main() {
 	}
 }
 
+// run parses flags, installs the SIGINT/SIGTERM context and dispatches
+// the command. On interruption the sweep engine stops at the next point
+// boundary; run still flushes the trace and metrics files (so a
+// cancelled campaign leaves valid partial observability output, never a
+// torn JSON document) and reports how many sweep points completed.
 func run(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fs := flag.NewFlagSet("ntcsim", flag.ContinueOnError)
 	fidelity := fs.String("fidelity", "quick", "sampling fidelity: quick or paper")
 	seed := fs.Uint64("seed", 0x5eed, "simulation seed")
@@ -77,7 +87,9 @@ func run(args []string) error {
 		defer f.Close()
 		tracer = obs.NewTracer(f)
 	}
-	var prog *obs.Progress
+	// Always counting (nil writer = silent), so an interrupted run can
+	// report which points completed even without -progress.
+	prog := obs.NewProgress(nil)
 	if *progress {
 		prog = obs.NewProgress(os.Stderr)
 	}
@@ -98,6 +110,11 @@ func run(args []string) error {
 		e.Obs = registry
 		e.Tracer = tracer
 		e.Progress = prog
+		// Recovered checkpoint faults (quarantined corruption, failed
+		// saves) are surfaced on stderr; they affect speed, not results.
+		e.Warnf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "ntcsim: "+format+"\n", a...)
+		}
 		switch *fidelity {
 		case "quick":
 		case "paper":
@@ -109,71 +126,74 @@ func run(args []string) error {
 	}
 
 	cmd := fs.Arg(0)
-	var cmdFn func() error
+	var cmdFn func(ctx context.Context) error
 	switch cmd {
 	case "fig1":
-		cmdFn = cmdFig1
+		cmdFn = func(context.Context) error { return cmdFig1() }
 	case "table1":
-		cmdFn = cmdTable1
+		cmdFn = func(context.Context) error { return cmdTable1() }
 	case "fig2":
-		cmdFn = func() error { return cmdFig2(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdFig2(ctx, newExplorer) }
 	case "fig3":
-		cmdFn = func() error {
-			return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
+		cmdFn = func(ctx context.Context) error {
+			return cmdEfficiency(ctx, newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
 		}
 	case "fig4":
-		cmdFn = func() error {
-			return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+		cmdFn = func(ctx context.Context) error {
+			return cmdEfficiency(ctx, newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
 		}
 	case "opt":
-		cmdFn = func() error { return cmdOpt(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdOpt(ctx, newExplorer) }
 	case "ablation":
-		cmdFn = func() error { return cmdAblation(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdAblation(ctx, newExplorer) }
 	case "variation":
-		cmdFn = func() error { return cmdVariation(*seed) }
+		cmdFn = func(context.Context) error { return cmdVariation(*seed) }
 	case "darksilicon":
-		cmdFn = func() error { return cmdDarkSilicon(newExplorer) }
+		cmdFn = func(context.Context) error { return cmdDarkSilicon(newExplorer) }
 	case "governor":
-		cmdFn = func() error { return cmdGovernor(newExplorer, *seed) }
+		cmdFn = func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed) }
 	case "interference":
-		cmdFn = func() error { return cmdInterference(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) }
 	case "scaling":
-		cmdFn = func() error { return cmdScaling(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdScaling(ctx, newExplorer) }
 	case "workloads":
-		cmdFn = func() error { return cmdWorkloads(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdWorkloads(ctx, newExplorer) }
 	case "prefetch":
-		cmdFn = func() error { return cmdPrefetch(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdPrefetch(ctx, newExplorer) }
 	case "ports":
-		cmdFn = func() error { return cmdPorts(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdPorts(ctx, newExplorer) }
 	case "hetero":
-		cmdFn = func() error { return cmdHetero(newExplorer) }
+		cmdFn = func(ctx context.Context) error { return cmdHetero(ctx, newExplorer) }
 	case "warm":
-		cmdFn = func() error { return cmdWarm(newExplorer, *ckptDir) }
+		cmdFn = func(ctx context.Context) error { return cmdWarm(ctx, newExplorer, *ckptDir) }
 	case "all":
-		cmdFn = func() error {
-			for _, f := range []func() error{
-				cmdFig1,
-				cmdTable1,
-				func() error { return cmdFig2(newExplorer) },
-				func() error {
-					return cmdEfficiency(newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
+		cmdFn = func(ctx context.Context) error {
+			for _, f := range []func(ctx context.Context) error{
+				func(context.Context) error { return cmdFig1() },
+				func(context.Context) error { return cmdTable1() },
+				func(ctx context.Context) error { return cmdFig2(ctx, newExplorer) },
+				func(ctx context.Context) error {
+					return cmdEfficiency(ctx, newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
 				},
-				func() error {
-					return cmdEfficiency(newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
+				func(ctx context.Context) error {
+					return cmdEfficiency(ctx, newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
 				},
-				func() error { return cmdOpt(newExplorer) },
-				func() error { return cmdAblation(newExplorer) },
-				func() error { return cmdVariation(*seed) },
-				func() error { return cmdDarkSilicon(newExplorer) },
-				func() error { return cmdGovernor(newExplorer, *seed) },
-				func() error { return cmdInterference(newExplorer) },
-				func() error { return cmdScaling(newExplorer) },
-				func() error { return cmdWorkloads(newExplorer) },
-				func() error { return cmdPrefetch(newExplorer) },
-				func() error { return cmdPorts(newExplorer) },
-				func() error { return cmdHetero(newExplorer) },
+				func(ctx context.Context) error { return cmdOpt(ctx, newExplorer) },
+				func(ctx context.Context) error { return cmdAblation(ctx, newExplorer) },
+				func(context.Context) error { return cmdVariation(*seed) },
+				func(context.Context) error { return cmdDarkSilicon(newExplorer) },
+				func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed) },
+				func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) },
+				func(ctx context.Context) error { return cmdScaling(ctx, newExplorer) },
+				func(ctx context.Context) error { return cmdWorkloads(ctx, newExplorer) },
+				func(ctx context.Context) error { return cmdPrefetch(ctx, newExplorer) },
+				func(ctx context.Context) error { return cmdPorts(ctx, newExplorer) },
+				func(ctx context.Context) error { return cmdHetero(ctx, newExplorer) },
 			} {
-				if err := f(); err != nil {
+				if err := ctx.Err(); err != nil {
+					return context.Cause(ctx)
+				}
+				if err := f(ctx); err != nil {
 					return err
 				}
 			}
@@ -186,22 +206,29 @@ func run(args []string) error {
 	// The whole command runs inside one top-level trace span (lane 0), so
 	// even sweep-free commands produce a non-empty trace.
 	start := time.Now()
-	cmdErr := cmdFn()
+	cmdErr := cmdFn(ctx)
 	tracer.Complete("cmd", cmd, 0, start, time.Since(start), nil)
 	// A trace that failed to write must fail the run, not vanish silently;
 	// the command's own error still takes precedence.
 	if err := tracer.Close(); err != nil && cmdErr == nil {
 		cmdErr = err
 	}
-	if cmdErr != nil {
-		return cmdErr
-	}
-	if *metricsPath != "" {
+	interrupted := cmdErr != nil && errors.Is(cmdErr, context.Canceled)
+	if *metricsPath != "" && (cmdErr == nil || interrupted) {
+		// Metrics are flushed on success AND on interruption: a cancelled
+		// campaign's completed points are valid, deterministic data.
 		if err := writeMetrics(*metricsPath, registry); err != nil {
-			return err
+			if cmdErr == nil {
+				cmdErr = err
+			}
 		}
 	}
-	return nil
+	if interrupted {
+		done, total := prog.Completed()
+		return fmt.Errorf("interrupted after %d/%d sweep points (completed results, trace and metrics flushed)",
+			done, total)
+	}
+	return cmdErr
 }
 
 // writeMetrics writes the registry snapshot to path. The JSON key order
@@ -261,14 +288,14 @@ func cmdTable1() error {
 	return w.Flush()
 }
 
-func cmdFig2(newExplorer func() (*core.Explorer, error)) error {
+func cmdFig2(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Figure 2: 99th-percentile latency normalized to QoS vs core frequency ==")
 	freqs := core.DefaultFrequencies()
 	e, err := newExplorer()
 	if err != nil {
 		return err
 	}
-	sweeps, err := e.SweepMany(workload.ScaleOutProfiles(), freqs)
+	sweeps, err := e.SweepManyContext(ctx, workload.ScaleOutProfiles(), freqs)
 	if err != nil {
 		return err
 	}
@@ -288,14 +315,14 @@ func cmdFig2(newExplorer func() (*core.Explorer, error)) error {
 	return w.Flush()
 }
 
-func cmdEfficiency(newExplorer func() (*core.Explorer, error), profiles []*workload.Profile, title string) error {
+func cmdEfficiency(ctx context.Context, newExplorer func() (*core.Explorer, error), profiles []*workload.Profile, title string) error {
 	fmt.Fprintln(out, "==", title, "==")
 	freqs := core.DefaultFrequencies()
 	e, err := newExplorer()
 	if err != nil {
 		return err
 	}
-	sweeps, err := e.SweepMany(profiles, freqs)
+	sweeps, err := e.SweepManyContext(ctx, profiles, freqs)
 	if err != nil {
 		return err
 	}
@@ -330,14 +357,14 @@ func cmdEfficiency(newExplorer func() (*core.Explorer, error), profiles []*workl
 	return nil
 }
 
-func cmdOpt(newExplorer func() (*core.Explorer, error)) error {
+func cmdOpt(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Sec. V: QoS-feasible minimum frequencies and optimal efficiency points ==")
 	freqs := core.DefaultFrequencies()
 	e, err := newExplorer()
 	if err != nil {
 		return err
 	}
-	sweeps, err := e.SweepMany(workload.All(), freqs)
+	sweeps, err := e.SweepManyContext(ctx, workload.All(), freqs)
 	if err != nil {
 		return err
 	}
@@ -371,7 +398,7 @@ func cmdOpt(newExplorer func() (*core.Explorer, error)) error {
 	return w.Flush()
 }
 
-func cmdAblation(newExplorer func() (*core.Explorer, error)) error {
+func cmdAblation(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
 	fmt.Fprintln(out, "== Sec. V-C ablations: FD-SOI knobs, LPDDR4, cluster size ==")
 	e, err := newExplorer()
 	if err != nil {
@@ -399,15 +426,15 @@ func cmdAblation(newExplorer func() (*core.Explorer, error)) error {
 	freqs := []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9}
 	var ddr4Sweep, lpSweep *core.Sweep
 	lpE := e.LPDDR4Explorer()
-	err = parallel.Do(context.Background(), e.Jobs,
-		func(context.Context) error {
+	err = parallel.Do(ctx, e.Jobs,
+		func(ctx context.Context) error {
 			var err error
-			ddr4Sweep, err = e.Sweep(workload.MediaStreaming(), freqs)
+			ddr4Sweep, err = e.SweepContext(ctx, workload.MediaStreaming(), freqs)
 			return err
 		},
-		func(context.Context) error {
+		func(ctx context.Context) error {
 			var err error
-			lpSweep, err = lpE.Sweep(workload.MediaStreaming(), freqs)
+			lpSweep, err = lpE.SweepContext(ctx, workload.MediaStreaming(), freqs)
 			return err
 		})
 	if err != nil {
@@ -440,15 +467,15 @@ func cmdAblation(newExplorer func() (*core.Explorer, error)) error {
 	e8.Platform.Clusters = 4           // roughly iso-area
 	e8.Platform.CoresPerCl = 8
 	var s4, s8 *core.Sweep
-	err = parallel.Do(context.Background(), e.Jobs,
-		func(context.Context) error {
+	err = parallel.Do(ctx, e.Jobs,
+		func(ctx context.Context) error {
 			var err error
-			s4, err = e4.Sweep(workload.WebSearch(), freqs)
+			s4, err = e4.SweepContext(ctx, workload.WebSearch(), freqs)
 			return err
 		},
-		func(context.Context) error {
+		func(ctx context.Context) error {
 			var err error
-			s8, err = e8.Sweep(workload.WebSearch(), freqs)
+			s8, err = e8.SweepContext(ctx, workload.WebSearch(), freqs)
 			return err
 		})
 	if err != nil {

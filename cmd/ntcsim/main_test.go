@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"ntcsim/internal/core"
 )
@@ -98,6 +103,62 @@ func TestRunCheapCommands(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("commands produced no output")
+	}
+}
+
+// TestRunInterrupted delivers a real SIGINT mid-sweep and checks the
+// graceful-shutdown contract: the run exits with the "interrupted after
+// N/M sweep points" error, and the -trace and -metrics files are flushed
+// as valid JSON documents rather than torn mid-write.
+func TestRunInterrupted(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("runs a real sweep for seconds; skipped in -short and -race runs")
+	}
+	var buf bytes.Buffer
+	old := out
+	out = &buf
+	defer func() { out = old }()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	// run installs its signal.NotifyContext first thing, and fig2 sweeps
+	// 4 workloads x 11 points (tens of seconds at quick fidelity), so a
+	// SIGINT two seconds in lands squarely mid-sweep while the handler is
+	// subscribed.
+	go func() {
+		time.Sleep(2 * time.Second)
+		syscall.Kill(os.Getpid(), syscall.SIGINT)
+	}()
+	err := run([]string{"-trace", tracePath, "-metrics", metricsPath, "fig2"})
+	if err == nil {
+		t.Fatal("an interrupted run must not report success")
+	}
+	if !strings.Contains(err.Error(), "interrupted after") {
+		t.Fatalf("err = %v, want the interrupted-after report", err)
+	}
+
+	var trace struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	raw, rerr := os.ReadFile(tracePath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if jerr := json.Unmarshal(raw, &trace); jerr != nil {
+		t.Fatalf("interrupted run left a torn trace file: %v", jerr)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("interrupted trace should contain the spans of completed work")
+	}
+	var metrics map[string]any
+	raw, rerr = os.ReadFile(metricsPath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if jerr := json.Unmarshal(raw, &metrics); jerr != nil {
+		t.Fatalf("interrupted run left a torn metrics file: %v", jerr)
 	}
 }
 

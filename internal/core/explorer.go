@@ -19,10 +19,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"ntcsim/internal/faultfs"
 	"ntcsim/internal/obs"
 	"ntcsim/internal/parallel"
 	"ntcsim/internal/platform"
@@ -56,9 +58,39 @@ type Explorer struct {
 	Activity float64
 	// CheckpointDir, when set, caches warmed-cluster checkpoints per
 	// workload (the SMARTS warmed-checkpoint methodology): the first sweep
-	// of a workload pays the warmup and saves `<dir>/<workload>.ckpt`;
-	// later sweeps restore it and start measuring immediately.
+	// of a workload pays the warmup and saves
+	// `<dir>/<workload>-<fingerprint>.ckpt`, where the fingerprint hashes
+	// every input the warmed state depends on (profile parameters, sim
+	// config, warmup length — see checkpointFingerprint); later sweeps
+	// restore it and start measuring immediately. Files are written in the
+	// sealed format (CRC64 + fingerprint header): stale files re-warm
+	// silently, corrupt files are quarantined to *.corrupt and re-warmed,
+	// and concurrent sweeps sharing the directory warm each configuration
+	// once (lock file; see warm.go).
 	CheckpointDir string
+	// FS overrides the filesystem used for checkpoint persistence; nil
+	// selects the real OS filesystem. Tests inject faults through it
+	// (internal/faultfs) to prove the failure paths recover or error,
+	// never return wrong numbers.
+	FS faultfs.FS
+	// Warnf, when set, receives recovered-fault notices: quarantined
+	// corrupt checkpoints, failed checkpoint saves, stale warmup locks.
+	// These faults change performance, never results, so they are
+	// warnings rather than errors; nil discards them.
+	Warnf func(format string, args ...any)
+	// Retries is the per-point retry budget for transient failures. Each
+	// attempt restores the point's cluster fresh from the in-memory
+	// checkpoint and reseeds the identical RNG substream, so a retried
+	// point is bit-identical to a first-try success. Context cancellation
+	// is never retried. 0 means fail fast.
+	Retries int
+	// WarmLockPoll and WarmLockAttempts bound the single-flight warmup
+	// wait: a sweep that finds another process warming the same
+	// checkpoint polls every WarmLockPoll up to WarmLockAttempts times,
+	// then warms anyway (a stale lock must not hang a campaign). Zero
+	// values select the defaults (100ms, 600 polls).
+	WarmLockPoll     time.Duration
+	WarmLockAttempts int
 	// Thermal, when set, couples core leakage to the junction temperature
 	// via the electro-thermal fixed point instead of the technology's
 	// calibration temperature. Near threshold the correction is tiny; at
@@ -81,6 +113,11 @@ type Explorer struct {
 	Tracer *obs.Tracer
 	// Progress, when set, reports one line per completed sweep point.
 	Progress *obs.Progress
+
+	// pointFault is a test seam: when non-nil it runs at the start of
+	// every point attempt and its error is injected as that attempt's
+	// failure (see the retry tests in warm_test.go).
+	pointFault func(point, attempt int) error
 }
 
 // NewExplorer returns an explorer for the paper's default platform with
@@ -180,7 +217,7 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 	defer e.Tracer.ReleaseLane(swLane)
 
 	warmStart := time.Now() //ntclint:allow wallclock trace span timestamps only; never reaches results
-	cl, err := e.warmedCluster(p)
+	cl, err := e.warmedCluster(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -214,48 +251,22 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 	}
 	points := make([]Point, len(freqs))
 	err = parallel.ForEach(ctx, len(freqs), e.Jobs, func(_ context.Context, i int) error {
-		label := fmt.Sprintf("%s @ %.0fMHz", p.Name, freqs[i]/1e6)
-		lane := e.Tracer.AcquireLane()
-		defer e.Tracer.ReleaseLane(lane)
-		ptStart := time.Now() //ntclint:allow wallclock trace/progress timestamps only; never reaches results
-
-		pcl, err := sim.RestoreCluster(ck)
-		if err != nil {
-			return err
-		}
-		pcl.Reseed(root.Split(uint64(i)))
-		if e.Obs != nil {
-			pcl.EnableObs()
-		}
-		pcl.SetFrequency(freqs[i])
-		pcl.Run(e.SettleCycles)
-		pcfg := cfg
-		if e.Tracer != nil {
-			pcfg.Phase = func(phase string, sample int, start time.Time, d time.Duration) {
-				e.Tracer.Complete("sample", phase, lane, start, d,
-					map[string]any{"sample": sample, "point": label})
+		// Retry-with-reseed-identical: every attempt restores a fresh
+		// cluster from the shared checkpoint and reseeds the SAME
+		// substream (root.Split(i)), so a point that succeeds on attempt
+		// k is bit-identical to one that succeeds on attempt 0. Obs
+		// harvest, trace completion and progress fire only on the
+		// successful attempt, so metrics stay counter-class exact.
+		for attempt := 0; ; attempt++ {
+			err := e.runPoint(p, sw, cfg, ck, root, freqs, points, i, attempt)
+			if err == nil {
+				return nil
+			}
+			if attempt >= e.Retries ||
+				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
 			}
 		}
-		res, err := sampling.Run(pcl, pcfg)
-		if err != nil {
-			return err
-		}
-		pt, err := e.evaluate(p, sw, freqs[i], res)
-		if err != nil {
-			return err
-		}
-		points[i] = pt
-		if e.Obs != nil {
-			// Harvest exactly once per point cluster: the layer counters
-			// are cumulative since EnableObs.
-			pcl.HarvestObs(e.Obs)
-			harvestResult(e.Obs, p, freqs[i], res, pt)
-		}
-		d := time.Since(ptStart) //ntclint:allow wallclock trace/progress duration only; never reaches results
-		e.Tracer.Complete("point", label, lane, ptStart, d,
-			map[string]any{"freq_hz": freqs[i], "samples": len(res.Samples)})
-		e.Progress.Done(label, d)
-		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -264,14 +275,88 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 	return sw, nil
 }
 
+// runPoint evaluates one sweep point (one attempt). Writes are confined
+// to points[i]; side effects (obs harvest, trace span, progress line)
+// happen only after the point has fully succeeded.
+func (e *Explorer) runPoint(p *workload.Profile, sw *Sweep, cfg sampling.Config,
+	ck *sim.Checkpoint, root *rng.Stream, freqs []float64, points []Point, i, attempt int) error {
+	if e.pointFault != nil {
+		if err := e.pointFault(i, attempt); err != nil {
+			return err
+		}
+	}
+	label := fmt.Sprintf("%s @ %.0fMHz", p.Name, freqs[i]/1e6)
+	lane := e.Tracer.AcquireLane()
+	defer e.Tracer.ReleaseLane(lane)
+	ptStart := time.Now() //ntclint:allow wallclock trace/progress timestamps only; never reaches results
+
+	pcl, err := sim.RestoreCluster(ck)
+	if err != nil {
+		return err
+	}
+	pcl.Reseed(root.Split(uint64(i)))
+	if e.Obs != nil {
+		pcl.EnableObs()
+	}
+	pcl.SetFrequency(freqs[i])
+	pcl.Run(e.SettleCycles)
+	pcfg := cfg
+	if e.Tracer != nil {
+		pcfg.Phase = func(phase string, sample int, start time.Time, d time.Duration) {
+			e.Tracer.Complete("sample", phase, lane, start, d,
+				map[string]any{"sample": sample, "point": label})
+		}
+	}
+	res, err := sampling.Run(pcl, pcfg)
+	if err != nil {
+		return err
+	}
+	pt, err := e.evaluate(p, sw, freqs[i], res)
+	if err != nil {
+		return err
+	}
+	points[i] = pt
+	if e.Obs != nil {
+		// Harvest exactly once per point cluster: the layer counters
+		// are cumulative since EnableObs.
+		pcl.HarvestObs(e.Obs)
+		harvestResult(e.Obs, p, freqs[i], res, pt)
+	}
+	d := time.Since(ptStart) //ntclint:allow wallclock trace/progress duration only; never reaches results
+	e.Tracer.Complete("point", label, lane, ptStart, d,
+		map[string]any{"freq_hz": freqs[i], "samples": len(res.Samples)})
+	e.Progress.Done(label, d)
+	return nil
+}
+
 // SweepMany sweeps each profile over the same frequency grid, fanning the
 // workloads (and each workload's points) across the Jobs worker budget.
 // Results are returned in profile order and are bit-identical for any Jobs
-// setting. Profiles must be distinct when CheckpointDir is set, so their
-// checkpoint files do not collide.
+// setting.
 func (e *Explorer) SweepMany(profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
+	return e.SweepManyContext(context.Background(), profiles, freqsHz)
+}
+
+// SweepManyContext is SweepMany with cancellation: a cancelled ctx stops
+// every workload's sweep between points (points mid-simulation run to
+// completion, so results that were produced are valid).
+//
+// When CheckpointDir is set, profiles must have distinct names: the
+// checkpoint cache is keyed per profile, and two entries sharing a name
+// would race on the same single-flight lock for no benefit. The invariant
+// is enforced, not assumed.
+func (e *Explorer) SweepManyContext(ctx context.Context, profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
+	if e.CheckpointDir != "" {
+		seen := make(map[string]bool, len(profiles))
+		for _, p := range profiles {
+			if seen[p.Name] {
+				return nil, fmt.Errorf("core: SweepMany: duplicate profile %q with CheckpointDir set", p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
 	sweeps := make([]*Sweep, len(profiles))
-	err := parallel.ForEach(context.Background(), len(profiles), e.Jobs,
+	err := parallel.ForEach(ctx, len(profiles), e.Jobs,
 		func(ctx context.Context, i int) error {
 			sw, err := e.SweepContext(ctx, profiles[i], freqsHz)
 			if err != nil {

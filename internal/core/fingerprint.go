@@ -1,0 +1,42 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+
+	"ntcsim/internal/qos"
+	"ntcsim/internal/workload"
+)
+
+// checkpointFingerprint hashes everything a warmed checkpoint's contents
+// are a function of: the workload profile's full parameter set (not just
+// its name — two profiles sharing a Name, or an edited profile, must not
+// share cached state), the cluster configuration including the seed, the
+// platform's structural fields, the baseline frequency, and the warmup
+// and settle lengths. FNV-1a over the gob encoding of those values; gob
+// is deterministic for a fixed encode order, and the plain-struct configs
+// carry no functions or unexported state.
+//
+// The fingerprint keys the checkpoint file name AND is sealed into the
+// file header, so a stale file is never restored even if it is copied to
+// a matching name.
+func (e *Explorer) checkpointFingerprint(p *workload.Profile) (uint64, error) {
+	h := fnv.New64a()
+	enc := gob.NewEncoder(h)
+	for _, v := range []any{
+		p,
+		e.Sim,
+		e.Platform.Clusters,
+		e.Platform.CoresPerCl,
+		e.Platform.Memory,
+		float64(qos.BaselineFreqHz),
+		e.WarmInstr,
+		e.SettleCycles,
+	} {
+		if err := enc.Encode(v); err != nil {
+			return 0, fmt.Errorf("core: fingerprinting checkpoint config: %w", err)
+		}
+	}
+	return h.Sum64(), nil
+}

@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSPassthrough exercises the real-filesystem implementation end to
+// end: create, write, rename, open, read, stat, remove.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	if err := OS.MkdirAll(filepath.Join(dir, "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.CreateTemp(dir, "x*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := f.Name()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(dir, "final")
+	if err := OS.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(tmp); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("tmp should be gone after rename, got %v", err)
+	}
+	g, err := OS.Open(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := g.Read(buf)
+	g.Close()
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("read back %q", buf[:n])
+	}
+	if err := OS.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSCreateExclusive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lock")
+	f, err := OS.CreateExclusive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OS.CreateExclusive(path); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("second exclusive create should be fs.ErrExist, got %v", err)
+	}
+}
+
+func TestInjectorAfterAndCount(t *testing.T) {
+	boom := errors.New("boom")
+	in := NewInjector(OS, &Rule{Op: OpStat, After: 2, Count: 1, Err: boom})
+	path := filepath.Join(t.TempDir(), "nope")
+	for i := 0; i < 5; i++ {
+		_, err := in.Stat(path)
+		if i == 2 {
+			if !errors.Is(err, boom) {
+				t.Fatalf("call %d: want injected error, got %v", i, err)
+			}
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("call %d: want passthrough ErrNotExist, got %v", i, err)
+		}
+	}
+	if got := in.Calls(OpStat); got != 5 {
+		t.Fatalf("Calls(stat) = %d, want 5", got)
+	}
+}
+
+func TestInjectorPathFilter(t *testing.T) {
+	boom := errors.New("boom")
+	in := NewInjector(OS, &Rule{Op: OpMkdirAll, Path: "target", Err: boom})
+	dir := t.TempDir()
+	if err := in.MkdirAll(filepath.Join(dir, "other")); err != nil {
+		t.Fatalf("non-matching path should pass through: %v", err)
+	}
+	if err := in.MkdirAll(filepath.Join(dir, "target")); !errors.Is(err, boom) {
+		t.Fatalf("matching path should fail, got %v", err)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, &Rule{Op: OpWrite, Err: errors.New("ENOSPC"), ShortWrite: 3})
+	f, err := in.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if err == nil || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v, want n=3 with error", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("torn write left %q on disk, want %q", got, "abc")
+	}
+}
+
+func TestInjectorSilentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, &Rule{Op: OpWrite, Corrupt: true, CorruptByte: 1})
+	f, err := in.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("silent corruption must report success, got %v", err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(f.Name())
+	if string(got) != "a\x9dc" { // 'b' ^ 0xFF
+		t.Fatalf("corrupted bytes = %q", got)
+	}
+}
+
+func TestInjectorReadCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS, &Rule{Op: OpRead, Corrupt: true, CorruptByte: 0})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	n, err := f.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("read n=%d err=%v", n, err)
+	}
+	if buf[0] != 'a'^0xFF || buf[1] != 'b' {
+		t.Fatalf("read corruption wrong: %q", buf[:n])
+	}
+}
+
+func TestInjectorSyncAndCloseFaults(t *testing.T) {
+	boom := errors.New("boom")
+	dir := t.TempDir()
+	in := NewInjector(OS, &Rule{Op: OpSync, Err: boom}, &Rule{Op: OpClose, Err: boom})
+	f, err := in.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync fault: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close fault: %v", err)
+	}
+}
+
+func TestInjectorFirstMatchWins(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	in := NewInjector(OS,
+		&Rule{Op: OpRemove, Err: e1},
+		&Rule{Op: OpRemove, Err: e2})
+	if err := in.Remove(filepath.Join(t.TempDir(), "x")); !errors.Is(err, e1) {
+		t.Fatalf("first rule should win, got %v", err)
+	}
+}

@@ -20,7 +20,10 @@ type Progress struct {
 }
 
 // NewProgress returns a reporter writing to w (normally os.Stderr, so
-// progress never mixes into the result stream on stdout).
+// progress never mixes into the result stream on stdout). A nil w makes
+// a count-only reporter: Done prints nothing, but Completed still
+// reports how much of the announced work finished — the hook the CLI's
+// graceful shutdown uses to say which points completed.
 func NewProgress(w io.Writer) *Progress {
 	return &Progress{w: w, start: time.Now()}
 }
@@ -44,6 +47,9 @@ func (p *Progress) Done(label string, d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
+	if p.w == nil {
+		return
+	}
 	elapsed := time.Since(p.start)
 	eta := "?"
 	if p.done > 0 && p.total >= p.done {
@@ -54,6 +60,18 @@ func (p *Progress) Done(label string, d time.Duration) {
 		p.done, p.total, label,
 		d.Round(time.Millisecond),
 		elapsed.Round(time.Second), eta)
+}
+
+// Completed returns how many units finished out of how many were
+// announced — the basis of the "interrupted after N/M points" report on
+// graceful shutdown. Zeros on a nil reporter.
+func (p *Progress) Completed() (done, total int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done, p.total
 }
 
 // SyncWriter serializes writes to an underlying writer so lines emitted

@@ -77,8 +77,8 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 			ctx = context.WithValue(ctx, workerKey{}, 0)
 		}
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
 			}
 			if err := run(ctx, i); err != nil {
 				return err
@@ -119,7 +119,14 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 			return err
 		}
 	}
-	return ctx.Err()
+	// Reaching here with a cancelled ctx means the parent was cancelled
+	// (our own cancel only fires alongside a recorded error). Return the
+	// cancellation CAUSE, as documented: callers that cancel with
+	// context.WithCancelCause see their cause, not a bare Canceled.
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // Do runs the given functions concurrently on at most workers goroutines

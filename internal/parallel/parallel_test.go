@@ -109,6 +109,34 @@ func TestForEachPreCancelledContext(t *testing.T) {
 	}
 }
 
+func TestForEachReturnsCancellationCause(t *testing.T) {
+	// The documented contract: external cancellation surfaces the CAUSE
+	// (context.WithCancelCause), not a bare context.Canceled — both when
+	// the context is cancelled before the call and when it is cancelled
+	// mid-run, on the serial and concurrent paths alike.
+	cause := errors.New("operator hit ctrl-C")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancelCause(context.Background())
+		cancel(cause)
+		err := ForEach(ctx, 10, workers, func(context.Context, int) error { return nil })
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d pre-cancelled: err = %v, want the cause", workers, err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancelCause(context.Background())
+		err := ForEach(ctx, 1000, workers, func(_ context.Context, i int) error {
+			if i == 0 {
+				cancel(cause)
+			}
+			return nil
+		})
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d mid-run: err = %v, want the cause", workers, err)
+		}
+	}
+}
+
 func TestForEachZeroJobsAndNilContext(t *testing.T) {
 	if err := ForEach(context.Background(), 0, 4, nil); err != nil {
 		t.Fatalf("n=0 must not invoke fn: %v", err)

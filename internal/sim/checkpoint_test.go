@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"ntcsim/internal/workload"
@@ -137,5 +138,88 @@ func TestCheckpointShapeMismatchRejected(t *testing.T) {
 func TestLoadCheckpointGarbage(t *testing.T) {
 	if _, err := LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("garbage input should fail to decode")
+	}
+}
+
+// sealedTestBytes warms a small cluster and returns its sealed encoding.
+func sealedTestBytes(t *testing.T, fp uint64) []byte {
+	t.Helper()
+	cl, err := NewCluster(DefaultConfig(), workload.WebSearch(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FastForward(100000)
+	cl.Run(5000)
+	var buf bytes.Buffer
+	if err := cl.Checkpoint().SaveSealed(&buf, fp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSealedRoundTrip(t *testing.T) {
+	const fp = 0xfeedbeefcafe
+	raw := sealedTestBytes(t, fp)
+	ck, err := LoadSealed(bytes.NewReader(raw), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreCluster(ck); err != nil {
+		t.Fatalf("restoring round-tripped sealed checkpoint: %v", err)
+	}
+}
+
+func TestSealedStaleFingerprint(t *testing.T) {
+	raw := sealedTestBytes(t, 1)
+	_, err := LoadSealed(bytes.NewReader(raw), 2)
+	if !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("fingerprint mismatch should be ErrCheckpointStale, got %v", err)
+	}
+	if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatal("a stale file is intact, not corrupt")
+	}
+}
+
+func TestSealedCorruption(t *testing.T) {
+	const fp = 7
+	raw := sealedTestBytes(t, fp)
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short header", func(b []byte) []byte { return b[:10] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"unknown version", func(b []byte) []byte { b[4] = 0x7f; return b }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bit flip in payload", func(b []byte) []byte { b[sealedHdrLen+17] ^= 0x01; return b }},
+		{"bit flip in stored CRC", func(b []byte) []byte { b[22] ^= 0x01; return b }},
+		{"zero length", func(b []byte) []byte {
+			for i := 14; i < 22; i++ {
+				b[i] = 0
+			}
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mutate(append([]byte(nil), raw...))
+			_, err := LoadSealed(bytes.NewReader(mut), fp)
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("want ErrCheckpointCorrupt, got %v", err)
+			}
+		})
+	}
+}
+
+// TestSealedStaleRequiresIntegrity pins the verification order: a file that
+// is both corrupt AND has a mismatched fingerprint must be reported corrupt —
+// staleness is only meaningful for provably intact bytes.
+func TestSealedStaleRequiresIntegrity(t *testing.T) {
+	raw := sealedTestBytes(t, 1)
+	raw[len(raw)-1] ^= 0xff
+	_, err := LoadSealed(bytes.NewReader(raw), 2)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("corrupt+stale file must report corruption first, got %v", err)
 	}
 }
