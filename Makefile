@@ -14,6 +14,11 @@
 #                      mode): sealed-checkpoint integrity, quarantine,
 #                      torn-write/ENOSPC recovery, single-flight warmup,
 #                      retry and cancellation semantics
+#   make serve-smoke   request-serving DES suite in short mode: event
+#                      loop, balancers, sketch, snapshot/resume, the
+#                      cmd-level across-jobs determinism gate
+#   make serve-cover   coverage floor gate (>= 80%) for internal/serve
+#                      and internal/qos
 #   make race          race-detector pass over every package
 #   make bench         full benchmark suite (regenerates the paper's numbers)
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
@@ -25,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test cover fault race bench bench-sweep bench-obs golden-update
+.PHONY: all build vet lint test cover fault serve-smoke serve-cover race bench bench-sweep bench-obs golden-update
 
 all: build
 
@@ -50,6 +55,19 @@ fault:
 	$(GO) test -short ./internal/faultfs
 	$(GO) test -short -run 'Sealed' ./internal/sim
 	$(GO) test -short -run 'Fingerprint|CacheKeyed|CorruptCheckpoint|StaleFingerprint|SaveFailure|SilentWrite|Quarantine|SingleFlight|StaleWarmupLock|CheckpointDir|Duplicate|Retry|Cancellation|StopsBetweenPoints|WarmupHonors' ./internal/core
+
+serve-smoke:
+	$(GO) test -short ./internal/serve ./internal/qos
+	$(GO) test -short -run 'TestServeReport|TestGovernorReacts|TestRaceToIdle|TestViolationsMonotone' ./cmd/ntcsim ./internal/serve ./internal/governor
+
+# Coverage floor for the serving path: the statement coverage of
+# internal/serve and internal/qos must stay at or above 80%.
+serve-cover:
+	@for pkg in ./internal/serve ./internal/qos; do \
+		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1; i<=NF; i++) if ($$i == "coverage:") {sub(/%.*/, "", $$(i+1)); print $$(i+1)}}'); \
+		echo "$$pkg coverage: $$pct%"; \
+		awk -v p="$$pct" 'BEGIN { exit !(p+0 < 80) }' && { echo "$$pkg coverage $$pct% below the 80% floor"; exit 1; } || true; \
+	done
 
 race:
 	$(GO) test -race ./...

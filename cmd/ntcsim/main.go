@@ -8,6 +8,7 @@
 //	ntcsim fig4     cores/SoC/server efficiency, virtualized apps (Fig. 4)
 //	ntcsim opt      QoS-feasible minimum frequencies and optimal points (Sec. V)
 //	ntcsim ablation FD-SOI knobs, LPDDR4 what-if, cluster-size check (Sec. V-C)
+//	ntcsim serve    closed-loop request-serving DES: balancers x governor policies
 //	ntcsim all      everything above
 //
 // By default the reduced-cost sampling configuration is used; pass
@@ -71,7 +72,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing command (fig1|table1|fig2|fig3|fig4|opt|ablation|variation|darksilicon|governor|interference|scaling|workloads|prefetch|ports|hetero|warm|all)")
+		return fmt.Errorf("missing command (fig1|table1|fig2|fig3|fig4|opt|ablation|variation|darksilicon|governor|serve|interference|scaling|workloads|prefetch|ports|hetero|warm|all)")
 	}
 
 	var registry *obs.Registry
@@ -152,6 +153,8 @@ func run(args []string) error {
 		cmdFn = func(context.Context) error { return cmdDarkSilicon(newExplorer) }
 	case "governor":
 		cmdFn = func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed) }
+	case "serve":
+		cmdFn = func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed) }
 	case "interference":
 		cmdFn = func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) }
 	case "scaling":
@@ -183,6 +186,7 @@ func run(args []string) error {
 				func(context.Context) error { return cmdVariation(*seed) },
 				func(context.Context) error { return cmdDarkSilicon(newExplorer) },
 				func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed) },
+				func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed) },
 				func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) },
 				func(ctx context.Context) error { return cmdScaling(ctx, newExplorer) },
 				func(ctx context.Context) error { return cmdWorkloads(ctx, newExplorer) },

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ntcsim/internal/core"
+	"ntcsim/internal/governor"
+	"ntcsim/internal/obs"
+	"ntcsim/internal/parallel"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+	"ntcsim/internal/serve"
+	"ntcsim/internal/workload"
+)
+
+// cmdServe runs the discrete-event request-serving simulator over a
+// compressed diurnal day: Poisson arrivals hit the governed fleet through
+// a load balancer, and each policy row is the MEASURED outcome — served
+// requests, streamed tail quantiles, drops, energy — rather than the
+// analytic plan cmdGovernor prints. The first four rows hold the policy
+// fixed at max-frequency to isolate the balancer; the last three hold the
+// balancer fixed at join-shortest-queue to isolate the policy.
+func cmdServe(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64) error {
+	fmt.Fprintln(out, "== Request serving: closed-loop DES over a diurnal day (web-search) ==")
+	e, err := newExplorer()
+	if err != nil {
+		return err
+	}
+	app := workload.WebSearch()
+	sweep, err := e.SweepContext(ctx, app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
+	if err != nil {
+		return err
+	}
+	var pts []governor.PerfPoint
+	for _, p := range sweep.Points {
+		pts = append(pts, governor.PerfPoint{FreqHz: p.FreqHz, UIPS: p.UIPSChip})
+	}
+	curve, err := governor.NewPerfCurve(pts)
+	if err != nil {
+		return err
+	}
+	maxUIPS := curve.UIPSAt(curve.MaxFreq())
+	cfg := &governor.Config{
+		Platform:       e.Platform,
+		Curve:          curve,
+		Tail:           qos.NewTailModel(e.Platform.TotalCores(), app.Baseline99p, maxUIPS),
+		QoSLimit:       app.QoSLimit,
+		UncoreW:        e.Platform.UncorePowerW(100e6, 40e6, 150e6),
+		MemBackgroundW: e.Platform.MemoryPowerW(0, 0),
+		MemDynPerReq:   2e-3,
+		Margin:         0.85,
+	}
+	// The same diurnal day cmdGovernor replays open-loop, compressed to
+	// one-second epochs so the DES serves it request by request in
+	// reasonable time; rates and epoch count are untouched.
+	peak := cfg.Tail.MaxLoad(cfg.QoSLimit, maxUIPS) * 0.7
+	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(seed)).WithStep(time.Second)
+	return serveReport(ctx, e.Jobs, serveShape{
+		Clusters:        e.Platform.Clusters,
+		CoresPerCluster: e.Platform.CoresPerCl,
+		Warmup:          5 * time.Second,
+	}, cfg, trace, seed, e.Obs, e.Tracer)
+}
+
+// serveShape is the fleet geometry a serve scenario runs on.
+type serveShape struct {
+	Clusters        int
+	CoresPerCluster int
+	Warmup          time.Duration
+}
+
+// serveScenario pairs a policy with a balancer constructor (balancers may
+// be stateful, so each Sim gets a fresh instance).
+type serveScenario struct {
+	policy   serve.Policy
+	balancer func() serve.Balancer
+}
+
+// serveScenarios is the comparison grid: a balancer shoot-out under the
+// max-frequency baseline, then the governor policies on the best
+// balancer.
+func serveScenarios(cfg *governor.Config) []serveScenario {
+	fmax := cfg.Curve.MaxFreq()
+	maxF := serve.Static{Label: "max-frequency", FreqHz: fmax}
+	return []serveScenario{
+		{maxF, serve.NewRandom},
+		{maxF, serve.NewRoundRobin},
+		{maxF, serve.NewLeastLoaded},
+		{maxF, serve.NewJSQ},
+		{serve.Static{Label: "race-to-idle", FreqHz: fmax, Sleep: true}, serve.NewJSQ},
+		{serve.Tracking{}, serve.NewJSQ},
+		{serve.QueueAware{}, serve.NewJSQ},
+	}
+}
+
+// serveReport runs every scenario over the trace and prints the measured
+// comparison table. Scenarios are independent simulations, so they fan
+// out under the -jobs budget; each derives its randomness from its index,
+// keeping the output byte-identical for any worker count (see
+// TestServeReportAcrossJobs).
+func serveReport(ctx context.Context, jobs int, shape serveShape, cfg *governor.Config,
+	trace governor.LoadTrace, seed uint64, reg *obs.Registry, tracer *obs.Tracer) error {
+	scenarios := serveScenarios(cfg)
+	root := rng.New(seed).Derive("serve-cmd")
+	results, err := parallel.Map(ctx, len(scenarios), jobs,
+		func(ctx context.Context, i int) (serve.Result, error) {
+			sc := scenarios[i]
+			sim, err := serve.New(serve.Config{
+				Gov:             cfg,
+				Policy:          sc.policy,
+				Balancer:        sc.balancer(),
+				Clusters:        shape.Clusters,
+				CoresPerCluster: shape.CoresPerCluster,
+				Trace:           trace,
+				Warmup:          shape.Warmup,
+				Metrics:         reg,
+				Tracer:          tracer,
+			}, root.Split(uint64(i)))
+			if err != nil {
+				return serve.Result{}, err
+			}
+			defer sim.Close()
+			return sim.Run(ctx)
+		})
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "policy\tbalancer\tserved\tp50_ms\tp95_ms\tp99_ms\tp99.9_ms\tviolations\tdrops\tenergy_kJ\tavg_W")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%.2f\t%.1f\n",
+			r.Policy, r.Balancer, r.Served,
+			ms(r.P50), ms(r.P95), ms(r.P99), ms(r.P999),
+			r.Violations, r.Dropped, r.EnergyJ/1e3, r.AvgPowerW)
+	}
+	return w.Flush()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ntcsim/internal/governor"
+	"ntcsim/internal/platform"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+)
+
+// serveTestSetup builds a synthetic serving comparison (no sweep, no
+// simulation warmup) so the report itself can be exercised quickly.
+func serveTestSetup(t *testing.T) (serveShape, *governor.Config, governor.LoadTrace) {
+	t.Helper()
+	spec, err := platform.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := governor.NewPerfCurve([]governor.PerfPoint{
+		{FreqHz: 0.2e9, UIPS: 4e9}, {FreqHz: 0.5e9, UIPS: 9e9}, {FreqHz: 1.0e9, UIPS: 16e9},
+		{FreqHz: 1.5e9, UIPS: 21e9}, {FreqHz: 2.0e9, UIPS: 25e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &governor.Config{
+		Platform:       spec,
+		Curve:          curve,
+		Tail:           qos.NewTailModel(spec.TotalCores(), 50*time.Millisecond, 25e9),
+		QoSLimit:       200 * time.Millisecond,
+		UncoreW:        23,
+		MemBackgroundW: 15,
+		MemDynPerReq:   1e-3,
+		Margin:         0.85,
+	}
+	trace := governor.DiurnalTrace(24, 600, 0.2, 0.05, 1.4, rng.New(7)).WithStep(time.Second)
+	shape := serveShape{
+		Clusters:        spec.Clusters,
+		CoresPerCluster: spec.CoresPerCl,
+		Warmup:          2 * time.Second,
+	}
+	return shape, cfg, trace
+}
+
+// TestServeReportAcrossJobs is the worker-count determinism gate for the
+// serve driver: the full report — seven concurrent simulations fanned out
+// across the pool — must be byte-identical at any -jobs value.
+func TestServeReportAcrossJobs(t *testing.T) {
+	shape, cfg, trace := serveTestSetup(t)
+	run := func(jobs int) string {
+		return capture(t, func() error {
+			return serveReport(context.Background(), jobs, shape, cfg, trace, 0x5eed, nil, nil)
+		})
+	}
+	want := run(1)
+	for _, jobs := range []int{4, 8} {
+		if got := run(jobs); got != want {
+			t.Fatalf("serve report differs between -jobs 1 and -jobs %d:\n%s", jobs, diffHint(want, got))
+		}
+	}
+}
+
+// TestServeReportShape sanity-checks the table against the physics it
+// reports: every scenario serves traffic, and race-to-idle must undercut
+// the max-frequency energy on the same balancer.
+func TestServeReportShape(t *testing.T) {
+	shape, cfg, trace := serveTestSetup(t)
+	out := capture(t, func() error {
+		return serveReport(context.Background(), 0, shape, cfg, trace, 1, nil, nil)
+	})
+	for _, want := range []string{
+		"max-frequency", "race-to-idle", "tracking", "queue-aware",
+		"random", "round-robin", "least-loaded", "join-shortest-queue",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve report missing %q:\n%s", want, out)
+		}
+	}
+}

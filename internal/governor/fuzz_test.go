@@ -1,0 +1,53 @@
+package governor
+
+import (
+	"math"
+	"testing"
+
+	"ntcsim/internal/rng"
+)
+
+// FuzzDiurnalTrace hardens the trace generator against arbitrary
+// parameters: whatever a caller passes, the result must be structurally
+// sound (right length, positive step) and every load level finite and
+// non-negative — no panics, no NaN, no Inf. Run the full fuzzer with
+//
+//	go test -fuzz=FuzzDiurnalTrace ./internal/governor
+func FuzzDiurnalTrace(f *testing.F) {
+	f.Add(96, 2200.0, 0.2, 0.05, 1.4, uint64(42))
+	f.Add(0, 100.0, 0.0, 0.0, 1.0, uint64(0))
+	f.Add(-7, -1e9, 2.0, -0.5, 0.1, uint64(1))
+	f.Add(48, math.Inf(1), math.NaN(), math.Inf(-1), math.Inf(1), uint64(7))
+	f.Add(1, math.MaxFloat64, 0.5, 1.0, 1e18, uint64(3))
+	f.Fuzz(func(t *testing.T, steps int, peak, trough, spikeProb, spikeMag float64, seed uint64) {
+		// Bound the allocation, not the parameter space: a fuzzed step
+		// count in the billions tests nothing beyond memory limits.
+		if steps > 4096 {
+			steps %= 4096
+		}
+		tr := DiurnalTrace(steps, peak, trough, spikeProb, spikeMag, rng.New(seed))
+		if steps <= 0 {
+			if len(tr.Lambda) != 0 {
+				t.Fatalf("steps=%d produced %d levels", steps, len(tr.Lambda))
+			}
+			return
+		}
+		if len(tr.Lambda) != steps {
+			t.Fatalf("got %d levels, want %d", len(tr.Lambda), steps)
+		}
+		if tr.Step <= 0 {
+			t.Fatalf("non-positive step %v", tr.Step)
+		}
+		for i, lam := range tr.Lambda {
+			if math.IsNaN(lam) {
+				t.Fatalf("NaN level at step %d", i)
+			}
+			if math.IsInf(lam, 0) {
+				t.Fatalf("infinite level at step %d", i)
+			}
+			if lam < 0 {
+				t.Fatalf("negative level %v at step %d", lam, i)
+			}
+		}
+	})
+}

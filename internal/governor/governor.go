@@ -78,16 +78,85 @@ func (c PerfCurve) MaxFreq() float64 { return c.Points[len(c.Points)-1].FreqHz }
 // MinFreq returns the bottom of the curve.
 func (c PerfCurve) MinFreq() float64 { return c.Points[0].FreqHz }
 
+// StepUp returns the lowest curve frequency strictly above f, or MaxFreq
+// when f is already at (or beyond) the top — the one-notch escalation used
+// by queue-aware serving policies when the measured backlog says the
+// planned operating point is falling behind.
+func (c PerfCurve) StepUp(f float64) float64 {
+	for _, p := range c.Points {
+		if p.FreqHz > f {
+			return p.FreqHz
+		}
+	}
+	return c.MaxFreq()
+}
+
 // LoadTrace is a request-rate time series.
 type LoadTrace struct {
 	Step   time.Duration
 	Lambda []float64 // requests/s per step
 }
 
+// WithStep returns a copy of the trace replayed at a different step
+// duration — e.g. a diurnal day compressed so a discrete-event serving run
+// covers the whole shape in seconds of simulated time.
+func (t LoadTrace) WithStep(step time.Duration) LoadTrace {
+	return LoadTrace{Step: step, Lambda: t.Lambda}
+}
+
+// Duration returns the trace's total simulated horizon.
+func (t LoadTrace) Duration() time.Duration {
+	return t.Step * time.Duration(len(t.Lambda))
+}
+
+// sanitizeRate clamps a caller-supplied rate-like parameter to a finite,
+// non-negative value. DiurnalTrace is fuzzed: arbitrary inputs must never
+// produce a panic or a negative/NaN/Inf load level.
+func sanitizeRate(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64 / 1e6
+	}
+	return v
+}
+
+// clamp01 clamps a probability/fraction parameter to [0, 1] (NaN maps to 0).
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
 // DiurnalTrace generates a day-long load trace with the classic diurnal
 // swing plus random short spikes — the load shape that motivates both the
-// paper's QoS analysis and its boost knob.
+// paper's QoS analysis and its boost knob. Parameters are sanitized rather
+// than rejected: non-finite or negative rates are treated as zero,
+// troughFrac and spikeProb are clamped to [0, 1], and spike magnitudes
+// below 1 are treated as 1 (no spike), so the returned trace always holds
+// finite levels in [0, peakLambda*spikeMag]. steps <= 0 yields an empty
+// trace.
 func DiurnalTrace(steps int, peakLambda, troughFrac, spikeProb, spikeMag float64, seed *rng.Stream) LoadTrace {
+	if steps <= 0 {
+		return LoadTrace{}
+	}
+	peakLambda = sanitizeRate(peakLambda)
+	troughFrac = clamp01(troughFrac)
+	spikeProb = clamp01(spikeProb)
+	if math.IsNaN(spikeMag) || spikeMag < 1 {
+		spikeMag = 1
+	}
+	if math.IsInf(spikeMag, 1) || spikeMag > 1e9 {
+		spikeMag = 1e9
+	}
+	// The product of two individually-clamped factors can still overflow
+	// to +Inf; sanitize the bound itself so every emitted level is finite.
+	cap := sanitizeRate(peakLambda * spikeMag)
 	s := seed.Derive("load-trace")
 	tr := LoadTrace{Step: 24 * time.Hour / time.Duration(steps)}
 	for i := 0; i < steps; i++ {
@@ -98,13 +167,35 @@ func DiurnalTrace(steps int, peakLambda, troughFrac, spikeProb, spikeMag float64
 		if s.Bool(spikeProb) {
 			lam *= spikeMag
 		}
-		if lam < 0 {
+		if lam < 0 || math.IsNaN(lam) {
 			lam = 0
 		}
-		if lam > peakLambda*spikeMag {
-			lam = peakLambda * spikeMag
+		if lam > cap {
+			lam = cap
 		}
 		tr.Lambda = append(tr.Lambda, lam)
+	}
+	return tr
+}
+
+// SpikeTrace generates a flat trace at baseLambda with one contiguous
+// spike of spikeMag x base covering steps [spikeAt, spikeAt+spikeLen) —
+// the minimal load shape for studying how a policy absorbs a computation
+// burst. Inputs are sanitized like DiurnalTrace's.
+func SpikeTrace(steps int, step time.Duration, baseLambda, spikeMag float64, spikeAt, spikeLen int) LoadTrace {
+	if steps <= 0 || step <= 0 {
+		return LoadTrace{}
+	}
+	baseLambda = sanitizeRate(baseLambda)
+	if math.IsNaN(spikeMag) || spikeMag < 1 {
+		spikeMag = 1
+	}
+	tr := LoadTrace{Step: step, Lambda: make([]float64, steps)}
+	for i := range tr.Lambda {
+		tr.Lambda[i] = baseLambda
+		if i >= spikeAt && i < spikeAt+spikeLen {
+			tr.Lambda[i] = sanitizeRate(baseLambda * spikeMag)
+		}
 	}
 	return tr
 }
@@ -203,6 +294,53 @@ func minFreqFor(cfg *Config, lambda float64) float64 {
 	return cfg.Curve.MaxFreq()
 }
 
+// MinFeasibleFreq returns the lowest curve frequency whose QoS-constrained
+// capacity (derated by Margin) covers arrival rate lambda, or the maximum
+// frequency when none does — the planning primitive shared by the adaptive
+// policies here and the closed-loop serving policies in internal/serve.
+func (cfg *Config) MinFeasibleFreq(lambda float64) float64 {
+	return minFreqFor(cfg, lambda)
+}
+
+// Body-bias boost accounting constants (paper Sec. II-A item 1: FBB gives
+// a sub-microsecond local boost while a supply-rail DVFS transition would
+// take far longer). A boosted step charges the extra FBB leakage for a
+// fixed fraction of the step as a planning figure.
+const (
+	boostVbb  = 1.3 // forward body bias applied during the boost, V
+	boostDuty = 0.1 // fraction of the step spent boosted
+)
+
+// CorePower returns the power of a block of n cores governed by decision d
+// with the given busy fraction in [0, 1]: busy cores run at the operating
+// point's active power, idle capacity either leaks or RBB-sleeps, and a
+// boosted step additionally charges the FBB leakage premium for boostDuty
+// of the interval. This is the shared accounting between the analytic
+// trace replay (Run) and the discrete-event serving simulator, which calls
+// it per cluster with a measured busy fraction.
+func (cfg *Config) CorePower(d Decision, n int, busy float64) (float64, error) {
+	op, err := cfg.Platform.Tech.OperatingPointFor(d.FreqHz, 0)
+	if err != nil {
+		return 0, err
+	}
+	nf := float64(n)
+	active := cfg.Platform.Core.Power(op, 1.0)
+	idle := cfg.Platform.Core.IdlePower(op, d.Sleep)
+	w := nf * (busy*active + (1-busy)*idle)
+	if d.Boost {
+		boostLeak := nf * cfg.Platform.Core.LeakagePower(op.Vdd, boostVbb)
+		w += boostDuty * (boostLeak - nf*idle)
+	}
+	return w, nil
+}
+
+// SharedPower returns the per-chip standing power plus the request-rate-
+// proportional memory dynamic power: the non-core terms every policy pays
+// regardless of the operating point.
+func (cfg *Config) SharedPower(lambda float64) float64 {
+	return cfg.UncoreW + cfg.MemBackgroundW + lambda*cfg.MemDynPerReq
+}
+
 // StepResult records one simulated interval.
 type StepResult struct {
 	Lambda      float64
@@ -246,29 +384,12 @@ func Run(cfg *Config, pol Policy, trace LoadTrace) (Result, error) {
 		}
 
 		// Power: busy cores at the operating point, idle capacity either
-		// leaking (no sleep) or under RBB.
-		op, err := cfg.Platform.Tech.OperatingPointFor(d.FreqHz, 0)
+		// leaking (no sleep) or under RBB, plus the standing shared terms.
+		coreW, err := cfg.CorePower(d, cfg.Platform.TotalCores(), math.Min(rho, 1))
 		if err != nil {
 			return Result{}, err
 		}
-		busy := math.Min(rho, 1)
-		n := float64(cfg.Platform.TotalCores())
-		active := cfg.Platform.Core.Power(op, 1.0)
-		var idle float64
-		if d.Sleep {
-			idle = cfg.Platform.Core.SleepPower(op.Vdd)
-		} else {
-			idle = cfg.Platform.Core.LeakagePower(op.Vdd, op.Vbb)
-		}
-		coreW := n * (busy*active + (1-busy)*idle)
-		if d.Boost {
-			// Boost interval: extra leakage while the bias is applied
-			// (charged for a fixed 10% of the step as a planning figure).
-			boostLeak := n * cfg.Platform.Core.LeakagePower(op.Vdd, 1.3)
-			coreW += 0.1 * (boostLeak - n*idle)
-		}
-		memW := cfg.MemBackgroundW + lambda*cfg.MemDynPerReq
-		step.PowerW = coreW + cfg.UncoreW + memW
+		step.PowerW = coreW + cfg.SharedPower(lambda)
 
 		energyJ += step.PowerW * trace.Step.Seconds()
 		res.Steps = append(res.Steps, step)

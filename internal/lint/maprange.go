@@ -27,6 +27,7 @@ const maprangeDetDefault = "ntcsim/internal/sim," +
 	"ntcsim/internal/workload," +
 	"ntcsim/internal/qos," +
 	"ntcsim/internal/governor," +
+	"ntcsim/internal/serve," +
 	"ntcsim/internal/sampling," +
 	"ntcsim/internal/rng"
 

@@ -103,6 +103,30 @@ func (t *Tracer) Complete(cat, name string, lane int, start time.Time, d time.Du
 	})
 }
 
+// CompleteAt records a finished span on a simulated-time axis: start is an
+// offset from the simulation's t=0, not a wall-clock instant, so virtual
+// timelines (the discrete-event serving simulator) render with their own
+// coordinates instead of the tracer's wall-clock start. Keep wall-clock
+// spans (Complete) and simulated-time spans in separate trace files: the
+// two time bases share the viewer's single axis.
+func (t *Tracer) CompleteAt(cat, name string, lane int, start, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.event(traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		Ts:   float64(start) / 1e3,
+		Dur:  float64(d) / 1e3,
+		Pid:  1,
+		Tid:  lane,
+		Args: args,
+	})
+}
+
 // Instant records a zero-duration marker event on the given lane.
 func (t *Tracer) Instant(cat, name string, lane int, args map[string]any) {
 	if t == nil {

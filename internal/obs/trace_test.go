@@ -58,6 +58,32 @@ func TestTracerEmitsValidChromeTrace(t *testing.T) {
 	}
 }
 
+// TestTracerCompleteAtUsesSimulatedTime: a CompleteAt span's timestamp
+// must be exactly the simulated offset, independent of when the tracer
+// was created — that is the whole contract separating it from Complete.
+func TestTracerCompleteAtUsesSimulatedTime(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.CompleteAt("serve", "cluster 0", 2, 3*time.Second, time.Second,
+		map[string]any{"busy": 0.5})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	ev := doc.TraceEvents[1]
+	if ev.Ph != "X" || ev.Cat != "serve" || ev.Tid != 2 {
+		t.Fatalf("unexpected event: %+v", ev)
+	}
+	if ev.Ts != 3e6 || ev.Dur != 1e6 {
+		t.Fatalf("ts/dur = %v/%v µs, want exactly 3e6/1e6", ev.Ts, ev.Dur)
+	}
+	var nilTracer *Tracer
+	nilTracer.CompleteAt("serve", "noop", 0, 0, 0, nil) // must not panic
+}
+
 // TestTracerConcurrentEvents: events recorded from many goroutines must
 // still form one valid JSON document (comma discipline under the mutex).
 func TestTracerConcurrentEvents(t *testing.T) {

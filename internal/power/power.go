@@ -79,6 +79,18 @@ func (m *CoreModel) SleepPower(vdd float64) float64 {
 	return m.LeakRefW * m.Tech.SleepLeakageFactor(vdd)
 }
 
+// IdlePower returns the power of a core that is idle at operating point op:
+// the RBB-sleep power when sleep management is in effect, otherwise the
+// standing leakage at the operating point's bias. This is the idle-capacity
+// term shared by the governor's analytic replay and the request-serving
+// simulator's measured busy-fraction accounting.
+func (m *CoreModel) IdlePower(op tech.OperatingPoint, sleep bool) float64 {
+	if sleep {
+		return m.SleepPower(op.Vdd)
+	}
+	return m.LeakagePower(op.Vdd, op.Vbb)
+}
+
 // EnergyPerCycle returns the total energy per clock cycle in joules at op,
 // the figure of merit used by near-threshold studies.
 func (m *CoreModel) EnergyPerCycle(op tech.OperatingPoint, activity float64) float64 {

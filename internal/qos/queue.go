@@ -94,6 +94,29 @@ func erlangC(k int, a float64) float64 {
 // under Poisson arrivals of rate lambda. It returns an error when the
 // system is saturated (rho >= 1).
 func (m TailModel) Tail99(lambda, uips float64) (time.Duration, error) {
+	return m.TailQuantile(lambda, uips, 0.99)
+}
+
+// TailQuantile returns the q-quantile (q in (0,1), e.g. 0.99) of the
+// request sojourn time T = Wq + S in the M/M/k system at throughput uips
+// under Poisson arrivals of rate lambda.
+//
+// The wait Wq is zero with probability 1-C (Erlang-C) and otherwise
+// exponential with rate delta = k*mu*(1-rho); the service S is exponential
+// with rate mu, independent of Wq. The exact survival function is
+//
+//	P(T > t) = (1-C)*e^(-mu*t) + C * (delta*e^(-mu*t) - mu*e^(-delta*t)) / (delta-mu)
+//
+// (with the usual (1+mu*t)*e^(-mu*t) convolution when delta == mu), and the
+// quantile is resolved by bisection on integer nanoseconds: the smallest t
+// with P(T > t) <= 1-q. An earlier revision approximated the quantile as
+// q99(S) + q99(Wq); that additive composition systematically over-predicts
+// (quantiles do not add), by up to ~35% at small k and high rho — see
+// DESIGN.md §11 and the discrete-event cross-validation in internal/serve.
+func (m TailModel) TailQuantile(lambda, uips, q float64) (time.Duration, error) {
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("qos: quantile %v outside (0,1)", q)
+	}
 	s := m.MeanService(uips).Seconds()
 	if s <= 0 {
 		return 0, fmt.Errorf("qos: degenerate service time")
@@ -105,12 +128,49 @@ func (m TailModel) Tail99(lambda, uips float64) (time.Duration, error) {
 		return 0, fmt.Errorf("qos: saturated (rho = %.2f)", rho)
 	}
 	c := erlangC(m.Cores, lambda/mu)
-	// P(Wq > t) = C * exp(-k*mu*(1-rho)*t); the 1% quantile of the wait:
-	var wq float64
-	if c > 0.01 {
-		wq = math.Log(c/0.01) / (k * mu * (1 - rho))
+	p := 1 - q
+	if c == 0 {
+		// No queueing: T = S exactly, so the quantile has a closed form.
+		// q = 0.99 returns the scaled baseline measurement bit-exactly
+		// (ServiceFraction is defined as 1/ln(100)).
+		if q == 0.99 {
+			return m.scaled99(uips), nil
+		}
+		return time.Duration(float64(m.scaled99(uips)) * math.Log1p(-q) / math.Log(0.01)), nil
 	}
-	return m.scaled99(uips) + time.Duration(wq*float64(time.Second)), nil
+	delta := k * mu * (1 - rho)
+	survive := func(tns int64) float64 {
+		t := float64(tns) * 1e-9
+		emu := math.Exp(-mu * t)
+		var conv float64
+		if math.Abs(delta-mu) <= 1e-9*mu {
+			conv = (1 + mu*t) * emu
+		} else {
+			conv = (delta*emu - mu*math.Exp(-delta*t)) / (delta - mu)
+		}
+		return (1-c)*emu + c*conv
+	}
+	// Bracket: grow from the pure-service quantile until the survival
+	// probability drops below p, then bisect to the nanosecond. Bisecting
+	// on integers keeps the result exactly monotone in lambda (the
+	// survival function is pointwise monotone in lambda).
+	hi := int64(math.Ceil(s * math.Log(1/p) * 1e9))
+	if hi < 1 {
+		hi = 1
+	}
+	for i := 0; survive(hi) > p && i < 64; i++ {
+		hi *= 2
+	}
+	var lo int64
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if survive(mid) > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return time.Duration(hi), nil
 }
 
 // MaxLoad returns the highest arrival rate at which the 99th-percentile

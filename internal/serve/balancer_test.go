@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"testing"
+
+	"ntcsim/internal/rng"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	b := NewRoundRobin()
+	loads := make([]ClusterLoad, 3)
+	r := rng.New(1)
+	for i := 0; i < 9; i++ {
+		if got, want := b.Pick(loads, r), i%3; got != want {
+			t.Fatalf("pick %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLeastLoadedCountsServiceAndQueue(t *testing.T) {
+	b := NewLeastLoaded()
+	loads := []ClusterLoad{{Busy: 4, Queued: 0}, {Busy: 1, Queued: 2}, {Busy: 2, Queued: 2}}
+	if got := b.Pick(loads, rng.New(1)); got != 1 {
+		t.Fatalf("least-loaded picked %d, want 1 (3 in system)", got)
+	}
+	// Tie between 0 and 1: lowest index wins.
+	loads = []ClusterLoad{{Busy: 2, Queued: 1}, {Busy: 3, Queued: 0}, {Busy: 4, Queued: 4}}
+	if got := b.Pick(loads, rng.New(1)); got != 0 {
+		t.Fatalf("tie broke to %d, want 0", got)
+	}
+}
+
+func TestJSQIgnoresBusy(t *testing.T) {
+	b := NewJSQ()
+	// Cluster 0 has every core busy but no backlog; JSQ must still pick it
+	// over cluster 1's queue.
+	loads := []ClusterLoad{{Busy: 4, Queued: 0}, {Busy: 0, Queued: 1}}
+	if got := b.Pick(loads, rng.New(1)); got != 0 {
+		t.Fatalf("jsq picked %d, want 0 (shortest queue)", got)
+	}
+}
+
+func TestRandomInRangeAndDeterministic(t *testing.T) {
+	loads := make([]ClusterLoad, 5)
+	picksOf := func(seed uint64) []int {
+		b := NewRandom()
+		r := rng.New(seed)
+		out := make([]int, 64)
+		for i := range out {
+			out[i] = b.Pick(loads, r)
+			if out[i] < 0 || out[i] >= len(loads) {
+				t.Fatalf("pick out of range: %d", out[i])
+			}
+		}
+		return out
+	}
+	a, b := picksOf(42), picksOf(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at pick %d", i)
+		}
+	}
+	seen := map[int]bool{}
+	for _, p := range a {
+		seen[p] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("random balancer barely spreads: hit %d of 5 clusters in 64 picks", len(seen))
+	}
+}

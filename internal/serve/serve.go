@@ -1,0 +1,521 @@
+// Package serve is the discrete-event request-serving simulator: the
+// layer that turns the repo's analytic QoS story (qos.TailModel's M/M/k
+// approximation, governor.Run's open-loop trace replay) into an actual
+// request stream hitting an actual governed fleet.
+//
+// A Sim owns a multi-cluster fleet. Poisson/diurnal arrivals are drawn
+// from a governor.LoadTrace (nonhomogeneous thinning, see ArrivalGen),
+// dispatched to a cluster by a pluggable Balancer, queued FIFO behind the
+// cluster's cores, and serviced for an Exp(1)-distributed demand scaled
+// by the mean service time the performance curve implies at the current
+// operating frequency. At every epoch boundary (one trace step) a Policy
+// observes the measured state — served throughput, backlog, p99 so far —
+// and picks the next governor.Decision, so DVFS+FBB reacts to feedback,
+// not just to the offered-load plan. Per-request latencies stream into a
+// bounded-relative-error percentile Sketch; energy integrates the
+// governor's shared power accounting (CorePower with the measured busy
+// fraction, SharedPower with the measured served rate).
+//
+// Determinism contract: a Sim is single-threaded and all randomness comes
+// from substreams of the seed stream handed to New, so Result is a pure
+// function of (Config, seed) — never of wall time or worker count. The
+// simulation clock is integer nanoseconds (time.Duration); simultaneous
+// events order departure < epoch < arrival, then by issue sequence.
+// Mid-run state can be captured and restored exactly (see Snapshot).
+//
+// The energy figure covers the trace horizon only: requests still in
+// flight when the trace ends are drained (their latencies and violations
+// count) but the drain tail's energy is not charged, since no epoch
+// closes it.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"ntcsim/internal/governor"
+	"ntcsim/internal/obs"
+	"ntcsim/internal/rng"
+)
+
+// Config describes one serving scenario.
+type Config struct {
+	// Gov supplies the platform, performance curve, tail model and QoS
+	// limit. Gov.Tail.Cores must equal Clusters*CoresPerCluster so the
+	// fleet's capacity matches the analytic model it is validated against.
+	Gov *governor.Config
+	// Policy decides the operating point at each epoch boundary.
+	Policy Policy
+	// Balancer routes each arrival to a cluster. Instances may be
+	// stateful and must not be shared between Sims.
+	Balancer Balancer
+	// Clusters and CoresPerCluster shape the fleet.
+	Clusters        int
+	CoresPerCluster int
+	// Trace is the offered-load schedule; one step is one governor epoch.
+	Trace governor.LoadTrace
+	// Warmup excludes requests that ARRIVE before it from the latency
+	// sketch and violation counts (energy is still charged).
+	Warmup time.Duration
+	// QueueCap bounds each cluster's waiting line; 0 means unbounded.
+	// Arrivals beyond the cap are dropped and counted.
+	QueueCap int
+	// Metrics, when non-nil, receives serve.* counters and the latency
+	// histogram. Counter-class: deterministic for any worker count.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, gets one simulated-time lane per cluster with
+	// a span per epoch (busy fraction, frequency, backlog).
+	Tracer *obs.Tracer
+}
+
+// request is one in-flight request: when it arrived and how much service
+// demand it carries (an Exp(1) multiplier of the mean service time at
+// whatever frequency the fleet runs when service starts).
+type request struct {
+	arrive time.Duration
+	work   float64
+}
+
+// cluster is one serving cluster: cores in service plus a FIFO ring of
+// waiting requests and the busy-time integral for energy accounting.
+type cluster struct {
+	busy    int
+	queue   []request
+	head    int
+	busyAcc time.Duration // sum over cores of in-service time this epoch
+}
+
+func (c *cluster) qlen() int { return len(c.queue) - c.head }
+
+func (c *cluster) push(r request) { c.queue = append(c.queue, r) }
+
+func (c *cluster) pop() request {
+	r := c.queue[c.head]
+	c.head++
+	if c.head > 64 && c.head*2 >= len(c.queue) {
+		n := copy(c.queue, c.queue[c.head:])
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+	return r
+}
+
+// departure is a scheduled service completion.
+type departure struct {
+	t       time.Duration
+	seq     uint64
+	cluster int
+	arrive  time.Duration
+}
+
+// depHeap is a min-heap of departures ordered by (time, issue sequence).
+type depHeap []departure
+
+func (h depHeap) Len() int { return len(h) }
+func (h depHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h depHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *depHeap) Push(x any)   { *h = append(*h, x.(departure)) }
+func (h *depHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	Policy   string
+	Balancer string
+
+	Arrivals   uint64
+	Served     uint64
+	Dropped    uint64 // arrivals rejected by QueueCap
+	Violations uint64 // post-warmup completions over the QoS limit
+	Boosts     uint64 // epochs entered under FBB boost
+
+	P50, P95, P99, P999 time.Duration // post-warmup latency quantiles
+
+	MaxQueue  int     // peak fleet-wide backlog
+	EnergyJ   float64 // energy over the trace horizon
+	AvgPowerW float64 // EnergyJ / horizon
+}
+
+// Sim is one deterministic serving simulation. Construct with New, drive
+// with Run (or RunUntil + Result), checkpoint with Snapshot/Restore.
+type Sim struct {
+	cfg     Config
+	gcfg    *governor.Config
+	pol     Policy
+	bal     Balancer
+	lambda  []float64 // sanitized per-epoch offered rates
+	stepDur time.Duration
+
+	clusters []*cluster
+	deps     depHeap
+	gen      *ArrivalGen
+	work     *rng.Stream
+	lbRand   *rng.Stream
+
+	now      time.Duration
+	nextArr  time.Duration
+	haveArr  bool
+	epoch    int // index of the epoch in progress; len(lambda) once done
+	decision governor.Decision
+	meanSvc  float64 // seconds of service per unit of work at the current frequency
+	lastRate float64 // served throughput of the previous epoch, req/s
+	seq      uint64
+	queued   int // fleet-wide backlog
+
+	sketch *Sketch
+
+	arrivals, served, dropped, violations, boosts uint64
+	servedEpoch                                   uint64
+	energyJ                                       float64
+	maxQueue                                      int
+
+	loads []ClusterLoad // scratch for balancer calls
+	lanes []int         // tracer lane per cluster
+
+	mArr, mServed, mDropped, mViol, mBoost *obs.Counter
+	hLat                                   *obs.Histogram
+}
+
+// latencyBucketsMs is the serve.latency_ms histogram layout.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// New validates the scenario and builds a simulation positioned at t=0
+// with the policy's first decision applied. The seed stream is not
+// consumed; arrival, service-demand and balancer randomness run on
+// substreams derived from it.
+func New(cfg Config, seed *rng.Stream) (*Sim, error) {
+	if cfg.Gov == nil {
+		return nil, fmt.Errorf("serve: nil governor config")
+	}
+	if cfg.Policy == nil || cfg.Balancer == nil {
+		return nil, fmt.Errorf("serve: policy and balancer are required")
+	}
+	if seed == nil {
+		return nil, fmt.Errorf("serve: nil seed stream")
+	}
+	if cfg.Clusters <= 0 || cfg.CoresPerCluster <= 0 {
+		return nil, fmt.Errorf("serve: fleet shape %dx%d must be positive", cfg.Clusters, cfg.CoresPerCluster)
+	}
+	if got := cfg.Clusters * cfg.CoresPerCluster; cfg.Gov.Tail.Cores != got {
+		return nil, fmt.Errorf("serve: tail model has %d cores, fleet has %d (%dx%d): capacities would diverge",
+			cfg.Gov.Tail.Cores, got, cfg.Clusters, cfg.CoresPerCluster)
+	}
+	if cfg.Gov.Margin <= 0 || cfg.Gov.Margin > 1 {
+		return nil, fmt.Errorf("serve: margin must be in (0,1]")
+	}
+	if cfg.Trace.Step <= 0 || len(cfg.Trace.Lambda) == 0 {
+		return nil, fmt.Errorf("serve: empty load trace")
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+	if cfg.QueueCap < 0 {
+		cfg.QueueCap = 0
+	}
+	if len(cfg.Gov.Curve.Points) == 0 {
+		return nil, fmt.Errorf("serve: empty performance curve")
+	}
+	// Every curve frequency must resolve to an operating point and a
+	// positive service time now, so the event loop cannot fail later.
+	for _, pt := range cfg.Gov.Curve.Points {
+		if _, err := cfg.Gov.CorePower(governor.Decision{FreqHz: pt.FreqHz}, 1, 0); err != nil {
+			return nil, fmt.Errorf("serve: curve point %.0f MHz: %w", pt.FreqHz/1e6, err)
+		}
+		if cfg.Gov.Tail.MeanService(pt.UIPS) <= 0 {
+			return nil, fmt.Errorf("serve: non-positive service time at %.0f MHz", pt.FreqHz/1e6)
+		}
+	}
+
+	s := &Sim{
+		cfg:     cfg,
+		gcfg:    cfg.Gov,
+		pol:     cfg.Policy,
+		bal:     cfg.Balancer,
+		stepDur: cfg.Trace.Step,
+		gen:     NewArrivalGen(cfg.Trace, seed.Derive("serve-arrivals")),
+		work:    seed.Derive("serve-work"),
+		lbRand:  seed.Derive("serve-balance"),
+		sketch:  NewSketch(),
+		loads:   make([]ClusterLoad, cfg.Clusters),
+	}
+	s.lambda = make([]float64, len(cfg.Trace.Lambda))
+	for i, lam := range cfg.Trace.Lambda {
+		if math.IsNaN(lam) || lam < 0 {
+			lam = 0
+		}
+		if lam > maxArrivalRate {
+			lam = maxArrivalRate
+		}
+		s.lambda[i] = lam
+	}
+	s.clusters = make([]*cluster, cfg.Clusters)
+	s.lanes = make([]int, cfg.Clusters)
+	for i := range s.clusters {
+		s.clusters[i] = &cluster{}
+		s.lanes[i] = cfg.Tracer.AcquireLane()
+	}
+	if cfg.Metrics != nil {
+		s.mArr = cfg.Metrics.Counter("serve.arrivals")
+		s.mServed = cfg.Metrics.Counter("serve.served")
+		s.mDropped = cfg.Metrics.Counter("serve.dropped")
+		s.mViol = cfg.Metrics.Counter("serve.violations")
+		s.mBoost = cfg.Metrics.Counter("serve.boosts")
+		s.hLat = cfg.Metrics.Histogram("serve.latency_ms", latencyBucketsMs)
+	}
+	s.nextArr, s.haveArr = s.gen.Next()
+	s.decide()
+	return s, nil
+}
+
+// Close releases the tracer lanes. Safe to call on a Sim that never
+// traced; call it once the Sim is done.
+func (s *Sim) Close() {
+	for _, lane := range s.lanes {
+		s.cfg.Tracer.ReleaseLane(lane)
+	}
+	s.lanes = nil
+}
+
+// decide asks the policy for the current epoch's decision and applies it.
+func (s *Sim) decide() {
+	o := Observation{
+		Epoch:        s.epoch,
+		Offered:      s.lambda[s.epoch],
+		MeasuredRate: s.lastRate,
+		Queued:       s.queued,
+		Tail99:       s.sketch.Quantile(0.99),
+		PrevFreqHz:   s.decision.FreqHz,
+	}
+	d := s.pol.Decide(s.gcfg, o)
+	// Clamp the frequency into the curve's range: UIPSAt clamps anyway,
+	// and a clamped decision keeps the energy model's operating-point
+	// lookup inside the validated set.
+	if math.IsNaN(d.FreqHz) || d.FreqHz < s.gcfg.Curve.MinFreq() {
+		d.FreqHz = s.gcfg.Curve.MinFreq()
+	}
+	if d.FreqHz > s.gcfg.Curve.MaxFreq() {
+		d.FreqHz = s.gcfg.Curve.MaxFreq()
+	}
+	if d.Boost {
+		s.boosts++
+		s.mBoost.Add(1)
+	}
+	s.decision = d
+	s.meanSvc = s.gcfg.Tail.MeanService(s.gcfg.Curve.UIPSAt(d.FreqHz)).Seconds()
+}
+
+// advanceTo moves the simulation clock, integrating busy core-time.
+func (s *Sim) advanceTo(t time.Duration) {
+	dt := t - s.now
+	if dt <= 0 {
+		return
+	}
+	for _, c := range s.clusters {
+		c.busyAcc += time.Duration(c.busy) * dt
+	}
+	s.now = t
+}
+
+// startService puts req on a core of cluster cl and schedules its
+// completion at the service rate of the CURRENT operating point. The
+// 1ns floor keeps completions strictly after dispatch.
+func (s *Sim) startService(cl int, req request) {
+	c := s.clusters[cl]
+	c.busy++
+	d := time.Duration(req.work * s.meanSvc * 1e9)
+	if d < 1 {
+		d = 1
+	}
+	s.seq++
+	heap.Push(&s.deps, departure{t: s.now + d, seq: s.seq, cluster: cl, arrive: req.arrive})
+}
+
+// processArrival dispatches the arrival at the current clock.
+func (s *Sim) processArrival() {
+	s.arrivals++
+	s.mArr.Add(1)
+	for i, c := range s.clusters {
+		s.loads[i] = ClusterLoad{Busy: c.busy, Queued: c.qlen()}
+	}
+	idx := s.bal.Pick(s.loads, s.lbRand)
+	if idx < 0 || idx >= len(s.clusters) {
+		panic(fmt.Sprintf("serve: balancer %s returned cluster %d of %d", s.bal.Name(), idx, len(s.clusters)))
+	}
+	req := request{arrive: s.now, work: s.work.Exponential(1)}
+	c := s.clusters[idx]
+	switch {
+	case c.busy < s.cfg.CoresPerCluster:
+		s.startService(idx, req)
+	case s.cfg.QueueCap > 0 && c.qlen() >= s.cfg.QueueCap:
+		s.dropped++
+		s.mDropped.Add(1)
+	default:
+		c.push(req)
+		s.queued++
+		if s.queued > s.maxQueue {
+			s.maxQueue = s.queued
+		}
+	}
+}
+
+// processDeparture completes the earliest scheduled service.
+func (s *Sim) processDeparture() {
+	dep := heap.Pop(&s.deps).(departure)
+	c := s.clusters[dep.cluster]
+	c.busy--
+	s.served++
+	s.servedEpoch++
+	s.mServed.Add(1)
+	latency := s.now - dep.arrive
+	s.hLat.Observe(float64(latency) / 1e6)
+	if dep.arrive >= s.cfg.Warmup {
+		s.sketch.Observe(latency)
+		if latency > s.gcfg.QoSLimit {
+			s.violations++
+			s.mViol.Add(1)
+		}
+	}
+	if c.qlen() > 0 {
+		s.queued--
+		s.startService(dep.cluster, c.pop())
+	}
+}
+
+// finishEpoch closes the epoch ending at the current clock: charges its
+// energy from the measured busy fractions and served rate, emits the
+// per-cluster trace spans, and resets the epoch accumulators.
+func (s *Sim) finishEpoch() error {
+	stepSec := s.stepDur.Seconds()
+	kc := s.cfg.CoresPerCluster
+	denom := float64(kc) * float64(s.stepDur)
+	start := s.stepDur * time.Duration(s.epoch)
+	for i, c := range s.clusters {
+		busyFrac := float64(c.busyAcc) / denom
+		if busyFrac > 1 {
+			busyFrac = 1
+		}
+		w, err := s.gcfg.CorePower(s.decision, kc, busyFrac)
+		if err != nil {
+			return fmt.Errorf("serve: epoch %d power: %w", s.epoch, err)
+		}
+		s.energyJ += w * stepSec
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.CompleteAt("serve", fmt.Sprintf("cluster %d", i), s.lanes[i], start, s.stepDur,
+				map[string]any{
+					"busy":     busyFrac,
+					"freq_ghz": s.decision.FreqHz / 1e9,
+					"queued":   c.qlen(),
+					"epoch":    s.epoch,
+				})
+		}
+		c.busyAcc = 0
+	}
+	s.lastRate = float64(s.servedEpoch) / stepSec
+	s.energyJ += s.gcfg.SharedPower(s.lastRate) * stepSec
+	s.servedEpoch = 0
+	return nil
+}
+
+// advance processes the next event. It returns false when the simulation
+// is complete: arrivals exhausted, departures drained, all epochs closed.
+func (s *Sim) advance() (bool, error) {
+	const never = time.Duration(math.MaxInt64)
+	depT, epochT, arrT := never, never, never
+	if len(s.deps) > 0 {
+		depT = s.deps[0].t
+	}
+	if s.epoch < len(s.lambda) {
+		epochT = s.stepDur * time.Duration(s.epoch+1)
+	}
+	if s.haveArr {
+		arrT = s.nextArr
+	}
+	switch {
+	case depT == never && epochT == never && arrT == never:
+		return false, nil
+	case depT <= epochT && depT <= arrT:
+		s.advanceTo(depT)
+		s.processDeparture()
+	case epochT <= arrT:
+		s.advanceTo(epochT)
+		if err := s.finishEpoch(); err != nil {
+			return false, err
+		}
+		s.epoch++
+		if s.epoch < len(s.lambda) {
+			s.decide()
+		}
+	default:
+		s.advanceTo(arrT)
+		s.processArrival()
+		s.nextArr, s.haveArr = s.gen.Next()
+	}
+	return true, nil
+}
+
+// RunUntil processes events until the simulation enters the given epoch
+// (s.Epoch() >= epoch) or completes, checking ctx periodically.
+func (s *Sim) RunUntil(ctx context.Context, epoch int) error {
+	for i := 0; s.epoch < epoch; i++ {
+		if i&8191 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+		}
+		ok, err := s.advance()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Epoch returns the index of the epoch in progress (len(trace) once the
+// whole trace has been served).
+func (s *Sim) Epoch() int { return s.epoch }
+
+// Run drives the simulation to completion and returns its result.
+func (s *Sim) Run(ctx context.Context) (Result, error) {
+	if err := s.RunUntil(ctx, len(s.lambda)+1); err != nil {
+		return Result{}, err
+	}
+	return s.Result(), nil
+}
+
+// Result reads the current summary; call after Run (or mid-run for
+// progress).
+func (s *Sim) Result() Result {
+	horizon := s.stepDur.Seconds() * float64(len(s.lambda))
+	return Result{
+		Policy:     s.pol.Name(),
+		Balancer:   s.bal.Name(),
+		Arrivals:   s.arrivals,
+		Served:     s.served,
+		Dropped:    s.dropped,
+		Violations: s.violations,
+		Boosts:     s.boosts,
+		P50:        s.sketch.Quantile(0.50),
+		P95:        s.sketch.Quantile(0.95),
+		P99:        s.sketch.Quantile(0.99),
+		P999:       s.sketch.Quantile(0.999),
+		MaxQueue:   s.maxQueue,
+		EnergyJ:    s.energyJ,
+		AvgPowerW:  s.energyJ / horizon,
+	}
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ntcsim/internal/governor"
+	"ntcsim/internal/platform"
+	"ntcsim/internal/qos"
+	"ntcsim/internal/rng"
+)
+
+// testGov builds a governor config for a fleet with the given total core
+// count, mirroring the governor package's own test fixture: web-search-like
+// baseline (50ms p99 at 25 GUIPS), 200ms QoS limit.
+func testGov(t *testing.T, cores int) *governor.Config {
+	t.Helper()
+	spec, err := platform.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := governor.NewPerfCurve([]governor.PerfPoint{
+		{FreqHz: 0.2e9, UIPS: 4e9}, {FreqHz: 0.5e9, UIPS: 9e9}, {FreqHz: 1.0e9, UIPS: 16e9},
+		{FreqHz: 1.5e9, UIPS: 21e9}, {FreqHz: 2.0e9, UIPS: 25e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &governor.Config{
+		Platform:       spec,
+		Curve:          curve,
+		Tail:           qos.NewTailModel(cores, 50*time.Millisecond, 25e9),
+		QoSLimit:       200 * time.Millisecond,
+		UncoreW:        23,
+		MemBackgroundW: 15,
+		MemDynPerReq:   1e-3,
+		Margin:         0.85,
+	}
+}
+
+// constTrace builds a flat trace of the given rate and length.
+func constTrace(lambda float64, steps int, step time.Duration) governor.LoadTrace {
+	tr := governor.LoadTrace{Step: step, Lambda: make([]float64, steps)}
+	for i := range tr.Lambda {
+		tr.Lambda[i] = lambda
+	}
+	return tr
+}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Gov:             testGov(t, 8),
+		Policy:          Tracking{},
+		Balancer:        NewJSQ(),
+		Clusters:        2,
+		CoresPerCluster: 4,
+		Trace:           constTrace(300, 10, time.Second),
+		Warmup:          2 * time.Second,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	base := testConfig(t)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil gov", func(c *Config) { c.Gov = nil }},
+		{"nil policy", func(c *Config) { c.Policy = nil }},
+		{"nil balancer", func(c *Config) { c.Balancer = nil }},
+		{"zero clusters", func(c *Config) { c.Clusters = 0 }},
+		{"negative cores", func(c *Config) { c.CoresPerCluster = -1 }},
+		{"core mismatch", func(c *Config) { c.CoresPerCluster = 3 }},
+		{"empty trace", func(c *Config) { c.Trace = governor.LoadTrace{} }},
+		{"bad margin", func(c *Config) { c.Gov = testGov(t, 8); c.Gov.Margin = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := New(cfg, rng.New(1)); err == nil {
+				t.Fatalf("New accepted invalid config (%s)", tc.name)
+			}
+		})
+	}
+	if _, err := New(base, nil); err == nil {
+		t.Fatal("New accepted nil seed")
+	}
+	if _, err := New(base, rng.New(1)); err != nil {
+		t.Fatalf("New rejected valid config: %v", err)
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	sim, err := New(testConfig(t), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if res.Served+res.Dropped != res.Arrivals {
+		t.Fatalf("conservation: arrivals %d != served %d + dropped %d",
+			res.Arrivals, res.Served, res.Dropped)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("unbounded queue dropped %d requests", res.Dropped)
+	}
+	if res.EnergyJ <= 0 || res.AvgPowerW <= 0 {
+		t.Fatalf("energy not accounted: %v J, %v W", res.EnergyJ, res.AvgPowerW)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 || res.P95 < res.P50 {
+		t.Fatalf("implausible quantiles: p50=%v p95=%v p99=%v p999=%v",
+			res.P50, res.P95, res.P99, res.P999)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Result {
+		sim, err := New(testConfig(t), rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config+seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSnapshotResume is the checkpoint-determinism test: a run that is
+// snapshotted mid-flight and resumed in a FRESH Sim must finish with a
+// result identical to the uninterrupted run — at an epoch boundary and at
+// an arbitrary mid-epoch point.
+func TestSnapshotResume(t *testing.T) {
+	ctx := context.Background()
+	full := func() Result {
+		sim, err := New(testConfig(t), rng.New(1234))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := full()
+
+	for _, cut := range []int{3, 7} {
+		sim, err := New(testConfig(t), rng.New(1234))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunUntil(ctx, cut); err != nil {
+			t.Fatal(err)
+		}
+		snap := sim.Snapshot()
+
+		resumed, err := New(testConfig(t), rng.New(1234))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed.Restore(snap)
+		got, err := resumed.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("resume from epoch %d diverged:\nwant %+v\ngot  %+v", cut, want, got)
+		}
+	}
+}
+
+// TestSnapshotIsolation: progress after Snapshot must not mutate the
+// captured image.
+func TestSnapshotIsolation(t *testing.T) {
+	ctx := context.Background()
+	sim, err := New(testConfig(t), rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	snap := sim.Snapshot()
+	before := *snap
+	beforeDeps := append([]departure(nil), snap.deps...)
+	if _, err := sim.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if snap.now != before.now || snap.arrivals != before.arrivals || snap.seq != before.seq {
+		t.Fatal("snapshot scalars mutated by later simulation")
+	}
+	if !reflect.DeepEqual(snap.deps, beforeDeps) {
+		t.Fatal("snapshot heap mutated by later simulation")
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	cfg := testConfig(t)
+	// Saturate: offered load well beyond fleet capacity with a tiny queue.
+	cfg.Trace = constTrace(5000, 4, time.Second)
+	cfg.Policy = Static{FreqHz: cfg.Gov.Curve.MaxFreq()}
+	cfg.QueueCap = 4
+	sim, err := New(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("saturated bounded queue dropped nothing")
+	}
+	if res.Served+res.Dropped != res.Arrivals {
+		t.Fatalf("conservation with drops: %d != %d + %d", res.Arrivals, res.Served, res.Dropped)
+	}
+	if res.MaxQueue > cfg.QueueCap*cfg.Clusters {
+		t.Fatalf("backlog %d exceeded cap %d x %d clusters", res.MaxQueue, cfg.QueueCap, cfg.Clusters)
+	}
+}
+
+// TestGovernorReactsToLoad: under a spike trace the tracking policy must
+// raise frequency during the spike relative to the quiet phase — the
+// closed-loop behavior the package exists to demonstrate.
+func TestGovernorReactsToLoad(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Trace = governor.SpikeTrace(12, time.Second, 100, 8, 6, 3)
+	sim, err := New(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sim.RunUntil(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	quiet := sim.decision.FreqHz
+	if err := sim.RunUntil(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	spike := sim.decision.FreqHz
+	if spike <= quiet {
+		t.Fatalf("tracking policy did not escalate on spike: quiet %.1f GHz, spike %.1f GHz",
+			quiet/1e9, spike/1e9)
+	}
+}
+
+// TestRaceToIdleBeatsMaxFrequencyEnergy: with sleep enabled on idle
+// capacity, the same served work must cost less energy.
+func TestRaceToIdleBeatsMaxFrequencyEnergy(t *testing.T) {
+	run := func(pol Policy) Result {
+		cfg := testConfig(t)
+		cfg.Trace = constTrace(150, 8, time.Second)
+		cfg.Policy = pol
+		sim, err := New(cfg, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fmax := run(Static{Label: "max-frequency", FreqHz: 2.0e9})
+	race := run(Static{Label: "race-to-idle", FreqHz: 2.0e9, Sleep: true})
+	if race.EnergyJ >= fmax.EnergyJ {
+		t.Fatalf("race-to-idle energy %.1f J >= max-frequency %.1f J", race.EnergyJ, fmax.EnergyJ)
+	}
+	// Same arrival process (identical seed): the latency profile matches.
+	if race.Arrivals != fmax.Arrivals {
+		t.Fatalf("same seed produced different arrival counts: %d vs %d", race.Arrivals, fmax.Arrivals)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Trace = constTrace(300, 1000, time.Second)
+	sim, err := New(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.RunUntil(ctx, 1000); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}

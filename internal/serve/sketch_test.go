@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"ntcsim/internal/rng"
+)
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewSketch()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty sketch quantile = %v, want 0", got)
+	}
+	if s.Count() != 0 {
+		t.Fatal("empty sketch has nonzero count")
+	}
+}
+
+// TestSketchRelativeError checks the advertised bound: every reported
+// quantile is within (gamma-1)/(gamma+1) of the exact sample quantile,
+// across three orders of magnitude of latency.
+func TestSketchRelativeError(t *testing.T) {
+	r := rng.New(77)
+	s := NewSketch()
+	vals := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Lognormal latencies spanning ~100us..~1s.
+		d := time.Duration(r.LogNormal(math.Log(5e6), 1.2))
+		s.Observe(d)
+		vals = append(vals, d)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	bound := (sketchGamma - 1) / (sketchGamma + 1)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(vals)))) - 1
+		exact := float64(vals[rank])
+		got := float64(s.Quantile(q))
+		if relErr := math.Abs(got-exact) / exact; relErr > bound+1e-9 {
+			t.Fatalf("q=%v: sketch %v vs exact %v, rel err %.4f > bound %.4f",
+				q, time.Duration(got), time.Duration(exact), relErr, bound)
+		}
+	}
+}
+
+func TestSketchMonotoneInQ(t *testing.T) {
+	r := rng.New(3)
+	s := NewSketch()
+	for i := 0; i < 5000; i++ {
+		s.Observe(time.Duration(r.Exponential(10e6)))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSketchClampsPathologicalInputs(t *testing.T) {
+	s := NewSketch()
+	s.Observe(0)                // floor bucket
+	s.Observe(-time.Second)     // negative: floor bucket, no panic
+	s.Observe(time.Microsecond) // exactly one unit
+	s.Observe(time.Hour)
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+	if got := s.Quantile(0.1); got != sketchUnit {
+		t.Fatalf("floor-bucket quantile = %v, want %v", got, sketchUnit)
+	}
+	if got := s.Quantile(math.NaN()); got != sketchUnit {
+		t.Fatalf("NaN quantile should clamp to q=0, got %v", got)
+	}
+	if got := s.Quantile(5); got < time.Hour/2 {
+		t.Fatalf("q>1 should clamp to max, got %v", got)
+	}
+}

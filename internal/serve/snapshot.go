@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"time"
+
+	"ntcsim/internal/governor"
+)
+
+// genState is the checkpointable state of an ArrivalGen (the trace and
+// sanitized rates are configuration, rebuilt by New).
+type genState struct {
+	t    time.Duration
+	done bool
+	rng  uint64
+}
+
+func (g *ArrivalGen) state() genState {
+	return genState{t: g.t, done: g.done, rng: g.r.State()}
+}
+
+func (g *ArrivalGen) setState(st genState) {
+	g.t, g.done = st.t, st.done
+	g.r.SetState(st.rng)
+}
+
+// clusterSnap is one cluster's checkpointed state.
+type clusterSnap struct {
+	busy    int
+	busyAcc time.Duration
+	queue   []request
+}
+
+// Snapshot is a complete in-memory image of a Sim mid-run: clock, event
+// heap, per-cluster queues, rng stream states, sketch and accumulators.
+// Restoring it into a fresh Sim built from the SAME Config continues the
+// run bit-identically (see TestSnapshotResume). Snapshots are in-memory
+// checkpoints for pause/resume and determinism testing, not a serialized
+// format.
+type Snapshot struct {
+	now      time.Duration
+	nextArr  time.Duration
+	haveArr  bool
+	epoch    int
+	decision governor.Decision
+	lastRate float64
+	seq      uint64
+	queued   int
+
+	gen      genState
+	workRng  uint64
+	lbRng    uint64
+	balState uint64
+	hasBal   bool
+
+	clusters []clusterSnap
+	deps     []departure
+
+	sketchCounts []uint64
+	sketchTotal  uint64
+
+	arrivals, served, dropped, violations, boosts uint64
+	servedEpoch                                   uint64
+	energyJ                                       float64
+	maxQueue                                      int
+}
+
+// Snapshot captures the Sim's current state. The returned value owns its
+// memory: later simulation progress does not mutate it.
+func (s *Sim) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		now:          s.now,
+		nextArr:      s.nextArr,
+		haveArr:      s.haveArr,
+		epoch:        s.epoch,
+		decision:     s.decision,
+		lastRate:     s.lastRate,
+		seq:          s.seq,
+		queued:       s.queued,
+		gen:          s.gen.state(),
+		workRng:      s.work.State(),
+		lbRng:        s.lbRand.State(),
+		deps:         append([]departure(nil), s.deps...),
+		sketchCounts: append([]uint64(nil), s.sketch.counts...),
+		sketchTotal:  s.sketch.total,
+		arrivals:     s.arrivals,
+		served:       s.served,
+		dropped:      s.dropped,
+		violations:   s.violations,
+		boosts:       s.boosts,
+		servedEpoch:  s.servedEpoch,
+		energyJ:      s.energyJ,
+		maxQueue:     s.maxQueue,
+	}
+	if sb, ok := s.bal.(statefulBalancer); ok {
+		snap.balState = sb.balancerState()
+		snap.hasBal = true
+	}
+	snap.clusters = make([]clusterSnap, len(s.clusters))
+	for i, c := range s.clusters {
+		snap.clusters[i] = clusterSnap{
+			busy:    c.busy,
+			busyAcc: c.busyAcc,
+			queue:   append([]request(nil), c.queue[c.head:]...),
+		}
+	}
+	return snap
+}
+
+// Restore rewinds (or fast-forwards) the Sim to the snapshot. The Sim
+// must have been built from the same Config that produced the snapshot —
+// Restore replaces dynamic state only, not configuration. Metrics
+// already emitted to an attached registry are NOT rewound; checkpoint
+// tests therefore compare Results and report output, which are derived
+// entirely from the restored state.
+func (s *Sim) Restore(snap *Snapshot) {
+	s.now = snap.now
+	s.nextArr = snap.nextArr
+	s.haveArr = snap.haveArr
+	s.epoch = snap.epoch
+	s.decision = snap.decision
+	s.meanSvc = s.gcfg.Tail.MeanService(s.gcfg.Curve.UIPSAt(snap.decision.FreqHz)).Seconds()
+	s.lastRate = snap.lastRate
+	s.seq = snap.seq
+	s.queued = snap.queued
+	s.gen.setState(snap.gen)
+	s.work.SetState(snap.workRng)
+	s.lbRand.SetState(snap.lbRng)
+	if sb, ok := s.bal.(statefulBalancer); ok && snap.hasBal {
+		sb.setBalancerState(snap.balState)
+	}
+	s.deps = append(s.deps[:0], snap.deps...)
+	for i, cs := range snap.clusters {
+		c := s.clusters[i]
+		c.busy = cs.busy
+		c.busyAcc = cs.busyAcc
+		c.queue = append(c.queue[:0], cs.queue...)
+		c.head = 0
+	}
+	s.sketch.counts = append(s.sketch.counts[:0], snap.sketchCounts...)
+	s.sketch.total = snap.sketchTotal
+	s.arrivals = snap.arrivals
+	s.served = snap.served
+	s.dropped = snap.dropped
+	s.violations = snap.violations
+	s.boosts = snap.boosts
+	s.servedEpoch = snap.servedEpoch
+	s.energyJ = snap.energyJ
+	s.maxQueue = snap.maxQueue
+}
