@@ -17,12 +17,16 @@
 #   make serve-smoke   request-serving DES suite in short mode: event
 #                      loop, balancers, sketch, snapshot/resume, the
 #                      cmd-level across-jobs determinism gate
-#   make serve-cover   coverage floor gate (>= 80%) for internal/serve
-#                      and internal/qos
+#   make serve-cover   coverage floor gate (>= 80%) for internal/serve,
+#                      internal/qos and internal/obs/timeseries
+#   make report-smoke  telemetry pipeline in short mode: conservation
+#                      audit, across-jobs CSV/counter determinism, the
+#                      ntcsim report golden
 #   make race          race-detector pass over every package
 #   make bench         full benchmark suite (regenerates the paper's numbers)
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
-#   make bench-obs     observability disabled-path overhead benchmark
+#   make bench-obs     observability overhead benchmarks (metrics
+#                      disabled-path + telemetry sampler), both gated <2%
 #   make golden-update regenerate cmd/ntcsim golden files after an
 #                      intentional model change (review the diff!).
 #                      Lint never rewrites sources, so golden outputs
@@ -30,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test cover fault serve-smoke serve-cover race bench bench-sweep bench-obs golden-update
+.PHONY: all build vet lint test cover fault serve-smoke serve-cover report-smoke race bench bench-sweep bench-obs golden-update
 
 all: build
 
@@ -60,14 +64,19 @@ serve-smoke:
 	$(GO) test -short ./internal/serve ./internal/qos
 	$(GO) test -short -run 'TestServeReport|TestGovernorReacts|TestRaceToIdle|TestViolationsMonotone' ./cmd/ntcsim ./internal/serve ./internal/governor
 
-# Coverage floor for the serving path: the statement coverage of
-# internal/serve and internal/qos must stay at or above 80%.
+# Coverage floor for the serving + telemetry path: the statement
+# coverage of internal/serve, internal/qos and internal/obs/timeseries
+# must stay at or above 80%.
 serve-cover:
-	@for pkg in ./internal/serve ./internal/qos; do \
+	@for pkg in ./internal/serve ./internal/qos ./internal/obs/timeseries; do \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1; i<=NF; i++) if ($$i == "coverage:") {sub(/%.*/, "", $$(i+1)); print $$(i+1)}}'); \
 		echo "$$pkg coverage: $$pct%"; \
 		awk -v p="$$pct" 'BEGIN { exit !(p+0 < 80) }' && { echo "$$pkg coverage $$pct% below the 80% floor"; exit 1; } || true; \
 	done
+
+report-smoke:
+	$(GO) test -short ./internal/obs/timeseries
+	$(GO) test -short -run 'TestTelemetry|TestReportGolden|TestRunTelemetry|TestEnergyGauges|TestCorePowerParts|TestSharedPowerParts' ./cmd/ntcsim ./internal/serve ./internal/governor
 
 race:
 	$(GO) test -race ./...
@@ -84,4 +93,5 @@ bench-obs:
 golden-update:
 	$(GO) test ./cmd/ntcsim -run TestGolden -update
 	$(GO) test ./cmd/ntcsim -run TestMetricsGolden -update
+	$(GO) test ./cmd/ntcsim -run TestReportGolden -update
 	@git --no-pager diff --stat cmd/ntcsim/testdata/golden || true

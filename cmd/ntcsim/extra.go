@@ -6,6 +6,7 @@ import (
 
 	"ntcsim/internal/core"
 	"ntcsim/internal/governor"
+	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/rng"
 	"ntcsim/internal/tech"
@@ -60,7 +61,7 @@ func cmdDarkSilicon(newExplorer func() (*core.Explorer, error)) error {
 
 // cmdGovernor runs the energy-proportionality policy comparison over a
 // diurnal day of load (Sec. V-C's knobs, operationalized).
-func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64) error {
+func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64, sampler *timeseries.Sampler) error {
 	fmt.Fprintln(out, "== Sec. V-C: DVFS governor policies over a diurnal day (web-search) ==")
 	e, err := newExplorer()
 	if err != nil {
@@ -89,7 +90,11 @@ func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error)
 		MemBackgroundW: e.Platform.MemoryPowerW(0, 0),
 		MemDynPerReq:   2e-3,
 		Margin:         0.85,
+		Telemetry:      sampler,
 	}
+	// Attribute the scalar UncoreW across ledger scopes (same rates).
+	llcW, xbarW, ioW := e.Platform.UncorePowerParts(100e6, 40e6, 150e6)
+	cfg.Uncore = governor.UncoreBreakdown{LLCW: llcW, XbarW: xbarW, IOW: ioW}
 	peak := cfg.Tail.MaxLoad(cfg.QoSLimit, maxUIPS) * 0.7
 	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(seed))
 

@@ -56,7 +56,7 @@ func TestGolden(t *testing.T) {
 			return cmdEfficiency(ctx, goldenExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
 		}},
 		{"opt", func() error { return cmdOpt(ctx, goldenExplorer) }},
-		{"serve", func() error { return cmdServe(ctx, goldenExplorer, 0x5eed) }},
+		{"serve", func() error { return cmdServe(ctx, goldenExplorer, 0x5eed, nil) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

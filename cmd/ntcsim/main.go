@@ -29,6 +29,7 @@ import (
 
 	"ntcsim/internal/core"
 	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/parallel"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/workload"
@@ -57,6 +58,8 @@ func run(args []string) error {
 	jobs := fs.Int("jobs", 0, "max concurrent sweep evaluations; 0 = all CPUs (output is identical for any value)")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot (deterministic-ordered JSON) to this file")
 	tracePath := fs.String("trace", "", "write a Chrome trace-viewer JSON (chrome://tracing, Perfetto) to this file")
+	telemetryPath := fs.String("telemetry", "", "write the per-epoch energy-attribution ledger (CSV) to this file")
+	telemetryEps := fs.Float64("telemetry-eps", 0, "energy-conservation audit tolerance, relative; 0 = default (1e-6)")
 	progress := fs.Bool("progress", false, "live per-point progress with ETA on stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +82,12 @@ func run(args []string) error {
 	if *metricsPath != "" || *pprofAddr != "" {
 		registry = obs.NewRegistry()
 	}
+	// Telemetry is nil-gated exactly like the registry: with no -telemetry
+	// flag the sampler stays nil and every producer runs its seed path.
+	var sampler *timeseries.Sampler
+	if *telemetryPath != "" {
+		sampler = timeseries.NewSampler()
+	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -95,7 +104,7 @@ func run(args []string) error {
 		prog = obs.NewProgress(os.Stderr)
 	}
 	if *pprofAddr != "" {
-		if _, err := startPprof(*pprofAddr, registry); err != nil {
+		if _, err := startPprof(*pprofAddr, registry, sampler); err != nil {
 			return err
 		}
 	}
@@ -111,6 +120,7 @@ func run(args []string) error {
 		e.Obs = registry
 		e.Tracer = tracer
 		e.Progress = prog
+		e.Telemetry = sampler
 		// Recovered checkpoint faults (quarantined corruption, failed
 		// saves) are surfaced on stderr; they affect speed, not results.
 		e.Warnf = func(format string, a ...any) {
@@ -152,9 +162,15 @@ func run(args []string) error {
 	case "darksilicon":
 		cmdFn = func(context.Context) error { return cmdDarkSilicon(newExplorer) }
 	case "governor":
-		cmdFn = func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed) }
+		cmdFn = func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed, sampler) }
 	case "serve":
-		cmdFn = func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed) }
+		cmdFn = func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed, sampler) }
+	case "report":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("report: usage: ntcsim report <telemetry.csv> (a file written by -telemetry)")
+		}
+		csvPath := fs.Arg(1)
+		cmdFn = func(context.Context) error { return cmdReport(csvPath) }
 	case "interference":
 		cmdFn = func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) }
 	case "scaling":
@@ -185,8 +201,8 @@ func run(args []string) error {
 				func(ctx context.Context) error { return cmdAblation(ctx, newExplorer) },
 				func(context.Context) error { return cmdVariation(*seed) },
 				func(context.Context) error { return cmdDarkSilicon(newExplorer) },
-				func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed) },
-				func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed) },
+				func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed, sampler) },
+				func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed, sampler) },
 				func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) },
 				func(ctx context.Context) error { return cmdScaling(ctx, newExplorer) },
 				func(ctx context.Context) error { return cmdWorkloads(ctx, newExplorer) },
@@ -211,6 +227,10 @@ func run(args []string) error {
 	// even sweep-free commands produce a non-empty trace.
 	start := time.Now()
 	cmdErr := cmdFn(ctx)
+	// Telemetry counter lanes are buffered in the sampler and emitted
+	// post-run in canonical order, so the "C" events are byte-identical
+	// for any -jobs value even though live spans interleave.
+	sampler.EmitTraceCounters(tracer)
 	tracer.Complete("cmd", cmd, 0, start, time.Since(start), nil)
 	// A trace that failed to write must fail the run, not vanish silently;
 	// the command's own error still takes precedence.
@@ -225,6 +245,24 @@ func run(args []string) error {
 			if cmdErr == nil {
 				cmdErr = err
 			}
+		}
+	}
+	if *telemetryPath != "" && (cmdErr == nil || interrupted) {
+		// Telemetry follows the metrics rule: flushed on success and on
+		// interruption. The CSV is written BEFORE the conservation audit
+		// runs so a failing ledger is on disk for inspection.
+		if err := writeTelemetry(*telemetryPath, sampler); err != nil {
+			if cmdErr == nil {
+				cmdErr = err
+			}
+		}
+	}
+	if cmdErr == nil {
+		// The conservation audit fails the run on attribution bugs; an
+		// interrupted run skips it (mid-epoch ledgers are legitimately
+		// short of their reported totals).
+		if err := sampler.Audit(*telemetryEps); err != nil {
+			cmdErr = err
 		}
 	}
 	if interrupted {
@@ -243,6 +281,21 @@ func writeMetrics(path string, r *obs.Registry) error {
 		return err
 	}
 	werr := r.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// writeTelemetry writes the sampler's CSV dump to path. Output order is
+// canonical (series sorted by name), so dumps diff cleanly across runs
+// and worker counts.
+func writeTelemetry(path string, s *timeseries.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := s.WriteCSV(f)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
@@ -430,6 +483,9 @@ func cmdAblation(ctx context.Context, newExplorer func() (*core.Explorer, error)
 	freqs := []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9}
 	var ddr4Sweep, lpSweep *core.Sweep
 	lpE := e.LPDDR4Explorer()
+	// Prefix the variant explorers' telemetry so their sweeps of the same
+	// workload names land in distinct series.
+	lpE.TelemetryPrefix = "lpddr4/"
 	err = parallel.Do(ctx, e.Jobs,
 		func(ctx context.Context) error {
 			var err error
@@ -470,6 +526,7 @@ func cmdAblation(ctx context.Context, newExplorer func() (*core.Explorer, error)
 	e8.Sim.LLC.CapacityBytes = 8 << 20 // keep the core:cache ratio
 	e8.Platform.Clusters = 4           // roughly iso-area
 	e8.Platform.CoresPerCl = 8
+	e8.TelemetryPrefix = "8c/"
 	var s4, s8 *core.Sweep
 	err = parallel.Do(ctx, e.Jobs,
 		func(ctx context.Context) error {

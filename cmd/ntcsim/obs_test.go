@@ -111,7 +111,7 @@ func TestRunObservabilityFlags(t *testing.T) {
 func TestPprofEndpointServes(t *testing.T) {
 	r := obs.NewRegistry()
 	r.Counter("test.alive").Add(1)
-	addr, err := startPprof("127.0.0.1:0", r)
+	addr, err := startPprof("127.0.0.1:0", r, nil)
 	if err != nil {
 		t.Skipf("cannot listen in this environment: %v", err)
 	}

@@ -9,19 +9,24 @@ import (
 	"os"
 
 	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
 )
 
 // startPprof serves net/http/pprof and expvar on addr for the lifetime of
 // the process and returns the bound address (addr may use port 0). The
 // listener is opened synchronously so a bad address fails the run
 // immediately; the metrics registry (when enabled) is published as the
-// "ntcsim" expvar, giving /debug/vars a live snapshot alongside the Go
+// "ntcsim" expvar and the telemetry sampler (when enabled) as
+// "ntcsim_telemetry", giving /debug/vars live snapshots alongside the Go
 // runtime's memstats.
-func startPprof(addr string, r *obs.Registry) (string, error) {
+func startPprof(addr string, r *obs.Registry, sampler *timeseries.Sampler) (string, error) {
 	if r != nil && expvar.Get("ntcsim") == nil {
 		// Publish panics on duplicate names; the guard keeps repeated
 		// in-process runs (tests) safe.
 		expvar.Publish("ntcsim", expvar.Func(func() any { return r.Snapshot() }))
+	}
+	if sampler != nil && expvar.Get("ntcsim_telemetry") == nil {
+		expvar.Publish("ntcsim_telemetry", expvar.Func(func() any { return sampler.Snapshot() }))
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"fmt"
+	"html"
+	"os"
+	"strings"
+	"time"
+
+	"ntcsim/internal/obs/timeseries"
+)
+
+// cmdReport renders a telemetry CSV (written by -telemetry) as one
+// self-contained HTML page on stdout: per-series energy-breakdown
+// stacked areas, a power sparkline, a headline energy/QoS table and a
+// collapsible data table. The output is a pure function of the CSV
+// bytes (fixed float formatting, canonical series order, no
+// timestamps), so it is golden-testable and byte-identical across runs.
+func cmdReport(csvPath string) error {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	s, err := timeseries.ReadCSV(f)
+	cerr := f.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return renderReport(s)
+}
+
+// component is one ledger scope with its display name and categorical
+// palette slot (the validated default order: blue, orange, aqua, yellow,
+// magenta, green — adjacent pairs pass both modes' CVD gates).
+type component struct {
+	key   string
+	label string
+	nj    func(timeseries.Ledger) int64
+}
+
+// components is the fixed stacking order: core scopes at the baseline,
+// then uncore, then memory — matching the paper's breakdown figures.
+var components = []component{
+	{"core_dyn", "core dynamic", func(l timeseries.Ledger) int64 { return l.CoreDynNJ }},
+	{"core_leak", "core leakage", func(l timeseries.Ledger) int64 { return l.CoreLeakNJ }},
+	{"llc", "LLC", func(l timeseries.Ledger) int64 { return l.LLCNJ }},
+	{"xbar", "crossbar", func(l timeseries.Ledger) int64 { return l.XbarNJ }},
+	{"io", "I/O", func(l timeseries.Ledger) int64 { return l.IONJ }},
+	{"dram", "DRAM", func(l timeseries.Ledger) int64 { return l.DRAMNJ }},
+}
+
+// epochRow is one series' samples folded across clusters for one epoch.
+type epochRow struct {
+	epoch    int
+	start    time.Duration
+	dur      time.Duration
+	energy   timeseries.Ledger
+	freqHz   float64
+	voltageV float64
+	utilSum  float64
+	clusters int
+	queue    int
+	p99      time.Duration
+}
+
+func (r epochRow) util() float64 {
+	if r.clusters == 0 {
+		return 0
+	}
+	return r.utilSum / float64(r.clusters)
+}
+
+func (r epochRow) powerW() float64 {
+	if r.dur <= 0 {
+		return 0
+	}
+	return r.energy.TotalJ() / r.dur.Seconds()
+}
+
+// foldEpochs aggregates a series' per-cluster samples into per-epoch
+// rows (record order preserved; epochs keyed by Epoch index).
+func foldEpochs(samples []timeseries.Sample) []epochRow {
+	var rows []epochRow
+	idx := make(map[int]int)
+	for _, sm := range samples {
+		i, ok := idx[sm.Epoch]
+		if !ok {
+			i = len(rows)
+			idx[sm.Epoch] = i
+			rows = append(rows, epochRow{
+				epoch: sm.Epoch, start: sm.Start, dur: sm.Dur,
+				freqHz: sm.FreqHz, voltageV: sm.VoltageV, p99: sm.P99,
+			})
+		}
+		r := &rows[i]
+		r.energy.Add(sm.Energy)
+		r.utilSum += sm.Util
+		r.clusters++
+		r.queue += sm.Queue
+		if sm.P99 > r.p99 {
+			r.p99 = sm.P99
+		}
+	}
+	return rows
+}
+
+// reportCSS carries the palette as custom properties: light values on
+// .viz-root, dark values under both the media query and the data-theme
+// scope so a viewer toggle wins both ways. Series colors follow the
+// categorical slots; all text wears ink tokens, never a series color.
+const reportCSS = `  body { margin: 2rem auto; max-width: 70rem; padding: 0 1rem;
+    font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+    background: var(--page); color: var(--text-primary); }
+  .viz-root { color-scheme: light;
+    --page: #f9f9f7; --surface-1: #fcfcfb;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #898781;
+    --grid: #e1e0d9; --axis: #c3c2b7; --ring: rgba(11,11,11,0.10);
+    --s-core-dyn: #2a78d6; --s-core-leak: #eb6834; --s-llc: #1baf7a;
+    --s-xbar: #eda100; --s-io: #e87ba4; --s-dram: #008300; }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root { color-scheme: dark;
+      --page: #0d0d0d; --surface-1: #1a1a19;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+      --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+      --s-core-dyn: #3987e5; --s-core-leak: #d95926; --s-llc: #199e70;
+      --s-xbar: #c98500; --s-io: #d55181; --s-dram: #008300; } }
+  :root[data-theme="dark"] .viz-root { color-scheme: dark;
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+    --s-core-dyn: #3987e5; --s-core-leak: #d95926; --s-llc: #199e70;
+    --s-xbar: #c98500; --s-io: #d55181; --s-dram: #008300; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin: 2rem 0 0.5rem; }
+  .sub { color: var(--text-secondary); font-size: 0.85rem; }
+  .chart { background: var(--surface-1); border: 1px solid var(--ring);
+    border-radius: 8px; padding: 12px; margin: 0.5rem 0; }
+  .legend { display: flex; flex-wrap: wrap; gap: 1rem; margin: 0.4rem 0;
+    font-size: 0.8rem; color: var(--text-secondary); }
+  .legend .chip { display: inline-block; width: 10px; height: 10px;
+    border-radius: 2px; margin-right: 0.35rem; vertical-align: baseline; }
+  table { border-collapse: collapse; font-size: 0.85rem; margin: 0.5rem 0; }
+  th { text-align: left; color: var(--text-secondary); font-weight: 600; }
+  th, td { padding: 0.25rem 0.9rem 0.25rem 0; border-bottom: 1px solid var(--grid); }
+  td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+  details { margin: 0.5rem 0 1.5rem; } summary { cursor: pointer;
+    color: var(--text-secondary); font-size: 0.85rem; }
+`
+
+// svgF formats an SVG coordinate with fixed precision (deterministic,
+// compact).
+func svgF(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// renderReport writes the whole HTML document to out.
+func renderReport(s *timeseries.Sampler) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
+	b.WriteString("<title>ntcsim energy telemetry</title>\n<style>\n")
+	b.WriteString(reportCSS)
+	b.WriteString("</style>\n</head>\n<body class=\"viz-root\">\n")
+	b.WriteString("<h1>ntcsim energy-attribution telemetry</h1>\n")
+	b.WriteString("<p class=\"sub\">Per-epoch energy ledger by component. Times are simulated.</p>\n")
+
+	all := s.All()
+	writeHeadline(&b, all)
+	for _, ser := range all {
+		writeSeries(&b, ser)
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := fmt.Fprint(out, b.String())
+	return err
+}
+
+// writeHeadline renders the summary table across all series.
+func writeHeadline(b *strings.Builder, all []*timeseries.Series) {
+	b.WriteString("<h2>Summary</h2>\n<table>\n<tr><th>series</th><th class=\"num\">samples</th>" +
+		"<th class=\"num\">horizon_s</th><th class=\"num\">energy_J</th><th class=\"num\">avg_W</th>" +
+		"<th class=\"num\">max_p99_ms</th><th class=\"num\">reported_J</th></tr>\n")
+	for _, ser := range all {
+		rows := foldEpochs(ser.Samples())
+		var horizon time.Duration
+		var maxP99 time.Duration
+		for _, r := range rows {
+			horizon += r.dur
+			if r.p99 > maxP99 {
+				maxP99 = r.p99
+			}
+		}
+		energyJ := ser.Sum().TotalJ()
+		avgW := 0.0
+		if horizon > 0 {
+			avgW = energyJ / horizon.Seconds()
+		}
+		rep := "&ndash;"
+		if repJ, ok := ser.Reported(); ok {
+			rep = fmt.Sprintf("%.6g", repJ)
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%.6g</td>"+
+			"<td class=\"num\">%.6g</td><td class=\"num\">%.6g</td><td class=\"num\">%.3f</td>"+
+			"<td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(ser.Name()), ser.Len(), horizon.Seconds(),
+			energyJ, avgW, float64(maxP99)/1e6, rep)
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeSeries renders one series: stacked-area breakdown, power
+// sparkline and the collapsible per-epoch data table.
+func writeSeries(b *strings.Builder, ser *timeseries.Series) {
+	rows := foldEpochs(ser.Samples())
+	fmt.Fprintf(b, "<h2>%s</h2>\n", html.EscapeString(ser.Name()))
+	if len(rows) == 0 {
+		b.WriteString("<p class=\"sub\">no samples</p>\n")
+		return
+	}
+	writeStack(b, rows)
+	writeSparkline(b, rows)
+	writeDataTable(b, rows)
+}
+
+// stack geometry (viewBox units).
+const (
+	stackW  = 720.0
+	stackH  = 160.0
+	sparkH  = 48.0
+	chartPX = 4.0 // inner padding
+)
+
+// writeStack renders the six-component stacked area with 2px
+// surface-colored boundary lines between fills and a legend.
+func writeStack(b *strings.Builder, rows []epochRow) {
+	maxJ := 0.0
+	for _, r := range rows {
+		if j := r.energy.TotalJ(); j > maxJ {
+			maxJ = j
+		}
+	}
+	if maxJ <= 0 {
+		maxJ = 1
+	}
+	n := len(rows)
+	x := func(i int) float64 {
+		if n == 1 {
+			return stackW / 2
+		}
+		return chartPX + (stackW-2*chartPX)*float64(i)/float64(n-1)
+	}
+	y := func(j float64) float64 {
+		return stackH - chartPX - (stackH-2*chartPX)*(j/maxJ)
+	}
+
+	b.WriteString("<div class=\"chart\">\n")
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %g %g\" width=\"100%%\" role=\"img\" "+
+		"aria-label=\"energy breakdown stacked area\">\n", stackW, stackH)
+	fmt.Fprintf(b, "<line x1=\"%g\" y1=\"%s\" x2=\"%g\" y2=\"%s\" stroke=\"var(--axis)\" stroke-width=\"1\"/>\n",
+		chartPX, svgF(stackH-chartPX), stackW-chartPX, svgF(stackH-chartPX))
+
+	// Cumulative tops per component, bottom-up in stacking order.
+	base := make([]float64, n)
+	for _, c := range components {
+		top := make([]float64, n)
+		for i, r := range rows {
+			top[i] = base[i] + float64(c.nj(r.energy))/1e9
+		}
+		var poly strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&poly, "%s,%s ", svgF(x(i)), svgF(y(top[i])))
+		}
+		for i := n - 1; i >= 0; i-- {
+			fmt.Fprintf(&poly, "%s,%s ", svgF(x(i)), svgF(y(base[i])))
+		}
+		fmt.Fprintf(b, "<polygon points=\"%s\" fill=\"var(--s-%s)\"><title>%s</title></polygon>\n",
+			strings.TrimSpace(poly.String()), c.key, html.EscapeString(c.label))
+		// 2px surface gap between stacked fills: the band's top edge.
+		var line strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&line, "%s,%s ", svgF(x(i)), svgF(y(top[i])))
+		}
+		fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"var(--surface-1)\" stroke-width=\"2\"/>\n",
+			strings.TrimSpace(line.String()))
+		base = top
+	}
+	b.WriteString("</svg>\n<div class=\"legend\">")
+	for _, c := range components {
+		fmt.Fprintf(b, "<span><span class=\"chip\" style=\"background: var(--s-%s)\"></span>%s</span>",
+			c.key, html.EscapeString(c.label))
+	}
+	fmt.Fprintf(b, "</div>\n<p class=\"sub\">peak epoch energy %.6g J</p>\n</div>\n", maxJ)
+}
+
+// writeSparkline renders the per-epoch average power as a single-series
+// line (slot-1 blue; one series, so the caption names it — no legend).
+func writeSparkline(b *strings.Builder, rows []epochRow) {
+	maxW := 0.0
+	for _, r := range rows {
+		if w := r.powerW(); w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 0 {
+		maxW = 1
+	}
+	n := len(rows)
+	var line strings.Builder
+	for i, r := range rows {
+		px := stackW / 2
+		if n > 1 {
+			px = chartPX + (stackW-2*chartPX)*float64(i)/float64(n-1)
+		}
+		py := sparkH - chartPX - (sparkH-2*chartPX)*(r.powerW()/maxW)
+		fmt.Fprintf(&line, "%s,%s ", svgF(px), svgF(py))
+	}
+	b.WriteString("<div class=\"chart\">\n")
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %g %g\" width=\"100%%\" role=\"img\" aria-label=\"power sparkline\">\n",
+		stackW, sparkH)
+	fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"var(--s-core-dyn)\" stroke-width=\"2\"/>\n",
+		strings.TrimSpace(line.String()))
+	fmt.Fprintf(b, "</svg>\n<p class=\"sub\">avg power per epoch, peak %.6g W</p>\n</div>\n", maxW)
+}
+
+// writeDataTable renders the per-epoch numbers (the table view the
+// relief rule requires for the sub-3:1 light-mode fills).
+func writeDataTable(b *strings.Builder, rows []epochRow) {
+	b.WriteString("<details>\n<summary>data table</summary>\n<table>\n" +
+		"<tr><th class=\"num\">epoch</th><th class=\"num\">start_s</th>")
+	for _, c := range components {
+		fmt.Fprintf(b, "<th class=\"num\">%s_J</th>", c.key)
+	}
+	b.WriteString("<th class=\"num\">total_J</th><th class=\"num\">freq_GHz</th>" +
+		"<th class=\"num\">Vdd</th><th class=\"num\">util</th><th class=\"num\">queue</th>" +
+		"<th class=\"num\">p99_ms</th></tr>\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "<tr><td class=\"num\">%d</td><td class=\"num\">%.6g</td>",
+			r.epoch, r.start.Seconds())
+		for _, c := range components {
+			fmt.Fprintf(b, "<td class=\"num\">%.6g</td>", float64(c.nj(r.energy))/1e9)
+		}
+		fmt.Fprintf(b, "<td class=\"num\">%.6g</td><td class=\"num\">%.3f</td>"+
+			"<td class=\"num\">%.3f</td><td class=\"num\">%.3f</td><td class=\"num\">%d</td>"+
+			"<td class=\"num\">%.3f</td></tr>\n",
+			r.energy.TotalJ(), r.freqHz/1e9, r.voltageV, r.util(), r.queue,
+			float64(r.p99)/1e6)
+	}
+	b.WriteString("</table>\n</details>\n")
+}

@@ -8,6 +8,7 @@ import (
 	"ntcsim/internal/core"
 	"ntcsim/internal/governor"
 	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/parallel"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/rng"
@@ -22,7 +23,7 @@ import (
 // analytic plan cmdGovernor prints. The first four rows hold the policy
 // fixed at max-frequency to isolate the balancer; the last three hold the
 // balancer fixed at join-shortest-queue to isolate the policy.
-func cmdServe(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64) error {
+func cmdServe(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64, sampler *timeseries.Sampler) error {
 	fmt.Fprintln(out, "== Request serving: closed-loop DES over a diurnal day (web-search) ==")
 	e, err := newExplorer()
 	if err != nil {
@@ -52,6 +53,9 @@ func cmdServe(ctx context.Context, newExplorer func() (*core.Explorer, error), s
 		MemDynPerReq:   2e-3,
 		Margin:         0.85,
 	}
+	// Attribute the scalar UncoreW across ledger scopes (same rates).
+	llcW, xbarW, ioW := e.Platform.UncorePowerParts(100e6, 40e6, 150e6)
+	cfg.Uncore = governor.UncoreBreakdown{LLCW: llcW, XbarW: xbarW, IOW: ioW}
 	// The same diurnal day cmdGovernor replays open-loop, compressed to
 	// one-second epochs so the DES serves it request by request in
 	// reasonable time; rates and epoch count are untouched.
@@ -61,7 +65,7 @@ func cmdServe(ctx context.Context, newExplorer func() (*core.Explorer, error), s
 		Clusters:        e.Platform.Clusters,
 		CoresPerCluster: e.Platform.CoresPerCl,
 		Warmup:          5 * time.Second,
-	}, cfg, trace, seed, e.Obs, e.Tracer)
+	}, cfg, trace, seed, e.Obs, e.Tracer, sampler)
 }
 
 // serveShape is the fleet geometry a serve scenario runs on.
@@ -101,22 +105,28 @@ func serveScenarios(cfg *governor.Config) []serveScenario {
 // keeping the output byte-identical for any worker count (see
 // TestServeReportAcrossJobs).
 func serveReport(ctx context.Context, jobs int, shape serveShape, cfg *governor.Config,
-	trace governor.LoadTrace, seed uint64, reg *obs.Registry, tracer *obs.Tracer) error {
+	trace governor.LoadTrace, seed uint64, reg *obs.Registry, tracer *obs.Tracer,
+	sampler *timeseries.Sampler) error {
 	scenarios := serveScenarios(cfg)
 	root := rng.New(seed).Derive("serve-cmd")
 	results, err := parallel.Map(ctx, len(scenarios), jobs,
 		func(ctx context.Context, i int) (serve.Result, error) {
 			sc := scenarios[i]
+			bal := sc.balancer()
 			sim, err := serve.New(serve.Config{
 				Gov:             cfg,
 				Policy:          sc.policy,
-				Balancer:        sc.balancer(),
+				Balancer:        bal,
 				Clusters:        shape.Clusters,
 				CoresPerCluster: shape.CoresPerCluster,
 				Trace:           trace,
 				Warmup:          shape.Warmup,
 				Metrics:         reg,
 				Tracer:          tracer,
+				// Each scenario records into its own series; the sampler
+				// sorts by name on export, so concurrent scenario order
+				// never reaches the output.
+				Telemetry: sampler.Series("serve/" + sc.policy.Name() + "/" + bal.Name()),
 			}, root.Split(uint64(i)))
 			if err != nil {
 				return serve.Result{}, err

@@ -53,7 +53,7 @@ func TestServeReportAcrossJobs(t *testing.T) {
 	shape, cfg, trace := serveTestSetup(t)
 	run := func(jobs int) string {
 		return capture(t, func() error {
-			return serveReport(context.Background(), jobs, shape, cfg, trace, 0x5eed, nil, nil)
+			return serveReport(context.Background(), jobs, shape, cfg, trace, 0x5eed, nil, nil, nil)
 		})
 	}
 	want := run(1)
@@ -70,7 +70,7 @@ func TestServeReportAcrossJobs(t *testing.T) {
 func TestServeReportShape(t *testing.T) {
 	shape, cfg, trace := serveTestSetup(t)
 	out := capture(t, func() error {
-		return serveReport(context.Background(), 0, shape, cfg, trace, 1, nil, nil)
+		return serveReport(context.Background(), 0, shape, cfg, trace, 1, nil, nil, nil)
 	})
 	for _, want := range []string{
 		"max-frequency", "race-to-idle", "tracking", "queue-aware",

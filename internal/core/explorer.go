@@ -26,6 +26,7 @@ import (
 
 	"ntcsim/internal/faultfs"
 	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/parallel"
 	"ntcsim/internal/platform"
 	"ntcsim/internal/qos"
@@ -113,6 +114,18 @@ type Explorer struct {
 	Tracer *obs.Tracer
 	// Progress, when set, reports one line per completed sweep point.
 	Progress *obs.Progress
+	// Telemetry, when set, records one chip-scope energy-ledger sample per
+	// sweep point under the series "<TelemetryPrefix>sweep/<workload>"
+	// (1-second pseudo-horizon per point: a sweep has no time axis, so
+	// each point's steady-state watts are booked as joules-per-second).
+	// Samples are buffered per point and recorded in ascending-frequency
+	// order after the parallel fan-out, keeping output byte-identical for
+	// every Jobs setting.
+	Telemetry *timeseries.Sampler
+	// TelemetryPrefix disambiguates series when several explorers sweep
+	// the same workload names in one run (e.g. the ablation's LPDDR4 and
+	// 8-core variants).
+	TelemetryPrefix string
 
 	// pointFault is a test seam: when non-nil it runs at the start of
 	// every point attempt and its error is injected as that attempt's
@@ -250,6 +263,10 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		ctx = parallel.WithObserver(ctx, obs.PoolObserver(e.Obs, "sweep"))
 	}
 	points := make([]Point, len(freqs))
+	var samples []timeseries.Sample // per-point telemetry, buffered for ordered recording
+	if e.Telemetry != nil {
+		samples = make([]timeseries.Sample, len(freqs))
+	}
 	err = parallel.ForEach(ctx, len(freqs), e.Jobs, func(_ context.Context, i int) error {
 		// Retry-with-reseed-identical: every attempt restores a fresh
 		// cluster from the shared checkpoint and reseeds the SAME
@@ -258,7 +275,7 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		// harvest, trace completion and progress fire only on the
 		// successful attempt, so metrics stay counter-class exact.
 		for attempt := 0; ; attempt++ {
-			err := e.runPoint(p, sw, cfg, ck, root, freqs, points, i, attempt)
+			err := e.runPoint(p, sw, cfg, ck, root, freqs, points, samples, i, attempt)
 			if err == nil {
 				return nil
 			}
@@ -272,6 +289,17 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		return nil, err
 	}
 	sw.Points = points
+	if e.Telemetry != nil {
+		// Record sequentially in point order — the workers only filled the
+		// buffer — and report the sweep's total for the conservation audit.
+		tel := e.Telemetry.Series(e.TelemetryPrefix + "sweep/" + p.Name)
+		var totalJ float64
+		for i := range samples {
+			tel.Record(samples[i])
+			totalJ += points[i].Power.TotalW() // × 1s pseudo-horizon
+		}
+		tel.ReportTotal(totalJ)
+	}
 	return sw, nil
 }
 
@@ -279,7 +307,8 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 // to points[i]; side effects (obs harvest, trace span, progress line)
 // happen only after the point has fully succeeded.
 func (e *Explorer) runPoint(p *workload.Profile, sw *Sweep, cfg sampling.Config,
-	ck *sim.Checkpoint, root *rng.Stream, freqs []float64, points []Point, i, attempt int) error {
+	ck *sim.Checkpoint, root *rng.Stream, freqs []float64, points []Point,
+	samples []timeseries.Sample, i, attempt int) error {
 	if e.pointFault != nil {
 		if err := e.pointFault(i, attempt); err != nil {
 			return err
@@ -316,6 +345,9 @@ func (e *Explorer) runPoint(p *workload.Profile, sw *Sweep, cfg sampling.Config,
 		return err
 	}
 	points[i] = pt
+	if samples != nil {
+		samples[i] = e.telemetrySample(pt, res, i)
+	}
 	if e.Obs != nil {
 		// Harvest exactly once per point cluster: the layer counters
 		// are cumulative since EnableObs.
@@ -424,6 +456,39 @@ func (e *Explorer) evaluate(p *workload.Profile, sw *Sweep, f float64, res sampl
 	pt.Metric = sw.Requirement.Metric(sw.BaselineUIPS, uipsChip)
 	pt.QoSOK = sw.Requirement.Satisfied(sw.BaselineUIPS, uipsChip)
 	return pt, nil
+}
+
+// telemetrySample books one sweep point's steady-state watts as an energy
+// ledger over a 1-second pseudo-horizon (a sweep has no time axis). Core
+// dynamic power comes from the model; core leakage is the RESIDUAL
+// CoresW − dynamic, so the thermal correction (which evaluate applies to
+// CoresW as a whole) lands in the leakage scope — physically right, since
+// the electro-thermal feedback amplifies leakage — and the ledger sums to
+// Power.TotalW() by construction.
+func (e *Explorer) telemetrySample(pt Point, res sampling.Result, i int) timeseries.Sample {
+	spec := e.Platform
+	dynOne, _ := spec.Core.PowerParts(pt.Op, e.Activity)
+	coreDynW := float64(spec.TotalCores()) * dynOne
+	coreLeakW := pt.Power.CoresW - coreDynW
+	llcW, xbarW, ioW := spec.UncorePowerParts(
+		res.LLCReadRate(), res.LLCWriteRate(), res.LLCAccessRate())
+	return timeseries.Sample{
+		Epoch:   i,
+		Cluster: -1, // chip scope: sweeps have no per-cluster view
+		Start:   time.Second * time.Duration(i),
+		Dur:     time.Second,
+		Energy: timeseries.Ledger{
+			CoreDynNJ:  timeseries.NJ(coreDynW),
+			CoreLeakNJ: timeseries.NJ(coreLeakW),
+			LLCNJ:      timeseries.NJ(llcW),
+			XbarNJ:     timeseries.NJ(xbarW),
+			IONJ:       timeseries.NJ(ioW),
+			DRAMNJ:     timeseries.NJ(pt.Power.MemoryW),
+		},
+		FreqHz:   pt.FreqHz,
+		VoltageV: pt.Op.Vdd,
+		Util:     e.Activity,
+	}
 }
 
 // Optima summarizes a sweep the way the paper's Sec. V does.

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/platform"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/rng"
@@ -200,6 +201,18 @@ func SpikeTrace(steps int, step time.Duration, baseLambda, spikeMag float64, spi
 	return tr
 }
 
+// UncoreBreakdown splits the standing uncore power into its attribution
+// scopes for telemetry. A zero value means "unattributed": SharedPowerParts
+// then books the scalar UncoreW under IO as a catch-all.
+type UncoreBreakdown struct {
+	LLCW  float64
+	XbarW float64
+	IOW   float64
+}
+
+// TotalW returns the breakdown's sum.
+func (u UncoreBreakdown) TotalW() float64 { return u.LLCW + u.XbarW + u.IOW }
+
 // Config wires the governor's models together.
 type Config struct {
 	Platform *platform.Spec
@@ -213,6 +226,14 @@ type Config struct {
 	MemDynPerReq float64
 	// Margin derates capacity during planning (e.g. 0.85 plans for 85%).
 	Margin float64
+	// Uncore optionally attributes UncoreW to LLC/crossbar/IO scopes for
+	// telemetry. Power accounting always uses the scalar UncoreW; the
+	// breakdown only labels where those watts go in the energy ledger.
+	Uncore UncoreBreakdown
+	// Telemetry, when non-nil, makes Run record a per-epoch energy ledger
+	// under the series name "replay/<policy>". Nil-gated: leaving it nil
+	// keeps the replay loop byte-for-byte the untelemetered path.
+	Telemetry *timeseries.Sampler
 }
 
 // Decision is a policy's choice for one step.
@@ -341,6 +362,67 @@ func (cfg *Config) SharedPower(lambda float64) float64 {
 	return cfg.UncoreW + cfg.MemBackgroundW + lambda*cfg.MemDynPerReq
 }
 
+// CoreParts is CorePower's answer decomposed for the energy ledger:
+// switching watts, static watts (idle leakage, sleep and boost premiums
+// all count as leakage), and the supply voltage of the operating point.
+type CoreParts struct {
+	DynW  float64
+	LeakW float64
+	Vdd   float64
+}
+
+// CorePowerParts computes the same quantity as CorePower but split into
+// dynamic and leakage attribution scopes: DynW+LeakW re-associates
+// CorePower's sum and stays within float ulps of it. Only busy cores
+// switch, so the dynamic part scales with the busy fraction; everything
+// else — active-core leakage, idle leakage or sleep power, and the FBB
+// boost premium — is static and lands in LeakW.
+func (cfg *Config) CorePowerParts(d Decision, n int, busy float64) (CoreParts, error) {
+	op, err := cfg.Platform.Tech.OperatingPointFor(d.FreqHz, 0)
+	if err != nil {
+		return CoreParts{}, err
+	}
+	nf := float64(n)
+	dynOne, leakOne := cfg.Platform.Core.PowerParts(op, 1.0)
+	idle := cfg.Platform.Core.IdlePower(op, d.Sleep)
+	p := CoreParts{
+		DynW:  nf * busy * dynOne,
+		LeakW: nf * (busy*leakOne + (1-busy)*idle),
+		Vdd:   op.Vdd,
+	}
+	if d.Boost {
+		boostLeak := nf * cfg.Platform.Core.LeakagePower(op.Vdd, boostVbb)
+		p.LeakW += boostDuty * (boostLeak - nf*idle)
+	}
+	return p, nil
+}
+
+// SharedParts is SharedPower decomposed for the energy ledger.
+type SharedParts struct {
+	LLCW  float64
+	XbarW float64
+	IOW   float64
+	DRAMW float64
+}
+
+// SharedPowerParts attributes SharedPower(lambda) to ledger scopes:
+// the uncore breakdown (or, when none was configured, the whole scalar
+// UncoreW under IO as the documented catch-all), and memory background
+// plus per-request dynamic energy under DRAM. The parts sum re-associates
+// SharedPower's and stays within float ulps of it.
+func (cfg *Config) SharedPowerParts(lambda float64) SharedParts {
+	u := cfg.Uncore
+	if u.TotalW() == 0 {
+		u = UncoreBreakdown{IOW: cfg.UncoreW}
+	}
+	return SharedParts{
+		LLCW:  u.LLCW,
+		XbarW: u.XbarW,
+		IOW:   u.IOW,
+		DRAMW: cfg.MemBackgroundW + lambda*cfg.MemDynPerReq,
+	}
+}
+
 // StepResult records one simulated interval.
 type StepResult struct {
 	Lambda      float64
@@ -367,7 +449,14 @@ func Run(cfg *Config, pol Policy, trace LoadTrace) (Result, error) {
 	}
 	res := Result{Policy: pol.Name()}
 	var energyJ float64
-	for _, lambda := range trace.Lambda {
+	// Telemetry is nil-gated: with no sampler configured tel is nil and
+	// the loop below runs the untelemetered path unchanged.
+	tel := cfg.Telemetry.Series("replay/" + pol.Name())
+	clusters := cfg.Platform.Clusters
+	if clusters <= 0 {
+		clusters = 1
+	}
+	for i, lambda := range trace.Lambda {
 		d := pol.Decide(cfg, lambda)
 		uips := cfg.Curve.UIPSAt(d.FreqHz)
 
@@ -393,7 +482,42 @@ func Run(cfg *Config, pol Policy, trace LoadTrace) (Result, error) {
 
 		energyJ += step.PowerW * trace.Step.Seconds()
 		res.Steps = append(res.Steps, step)
+
+		if tel != nil {
+			// Attribute this step's joules. Parts re-derive the same watts
+			// CorePower/SharedPower charged (within ulps), split by scope and
+			// spread evenly across clusters — the replay is chip-level, so
+			// the per-cluster rows are the chip ledger divided by Clusters.
+			parts, err := cfg.CorePowerParts(d, cfg.Platform.TotalCores(), math.Min(rho, 1))
+			if err != nil {
+				return Result{}, err
+			}
+			shared := cfg.SharedPowerParts(lambda)
+			cf := trace.Step.Seconds() / float64(clusters)
+			led := timeseries.Ledger{
+				CoreDynNJ:  timeseries.NJ(parts.DynW * cf),
+				CoreLeakNJ: timeseries.NJ(parts.LeakW * cf),
+				LLCNJ:      timeseries.NJ(shared.LLCW * cf),
+				XbarNJ:     timeseries.NJ(shared.XbarW * cf),
+				IONJ:       timeseries.NJ(shared.IOW * cf),
+				DRAMNJ:     timeseries.NJ(shared.DRAMW * cf),
+			}
+			for c := 0; c < clusters; c++ {
+				tel.Record(timeseries.Sample{
+					Epoch:    i,
+					Cluster:  c,
+					Start:    trace.Step * time.Duration(i),
+					Dur:      trace.Step,
+					Energy:   led,
+					FreqHz:   d.FreqHz,
+					VoltageV: parts.Vdd,
+					Util:     step.Utilization,
+					P99:      step.Tail99,
+				})
+			}
+		}
 	}
+	tel.ReportTotal(energyJ)
 	res.EnergyKWh = energyJ / 3.6e6
 	if len(trace.Lambda) > 0 {
 		res.AvgPowerW = energyJ / (trace.Step.Seconds() * float64(len(trace.Lambda)))

@@ -1,0 +1,127 @@
+package governor
+
+import (
+	"math"
+	"testing"
+
+	"ntcsim/internal/obs/timeseries"
+)
+
+// TestCorePowerPartsMatchesCorePower pins the decomposition contract:
+// DynW+LeakW is the same watts CorePower charges, only re-associated, so
+// the energy ledger conserves by construction.
+func TestCorePowerPartsMatchesCorePower(t *testing.T) {
+	cfg := testConfig(t)
+	for _, freq := range []float64{0.2e9, 0.5e9, 1.0e9, 2.0e9} {
+		for _, busy := range []float64{0, 0.3, 0.85, 1} {
+			for _, d := range []Decision{
+				{FreqHz: freq},
+				{FreqHz: freq, Sleep: true},
+				{FreqHz: freq, Boost: true},
+			} {
+				want, err := cfg.CorePower(d, cfg.Platform.TotalCores(), busy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts, err := cfg.CorePowerParts(d, cfg.Platform.TotalCores(), busy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := parts.DynW + parts.LeakW
+				if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, want) {
+					t.Errorf("f=%g busy=%g d=%+v: parts sum %.15g, CorePower %.15g",
+						freq, busy, d, got, want)
+				}
+				if parts.Vdd <= 0 {
+					t.Errorf("f=%g: parts carry no Vdd", freq)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPowerPartsMatchesSharedPower checks both the attributed and
+// the fallback path (no breakdown configured → all uncore watts under IO).
+func TestSharedPowerPartsMatchesSharedPower(t *testing.T) {
+	cfg := testConfig(t)
+	for _, lambda := range []float64{0, 500, 2200} {
+		want := cfg.SharedPower(lambda)
+		p := cfg.SharedPowerParts(lambda)
+		got := p.LLCW + p.XbarW + p.IOW + p.DRAMW
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("fallback: parts sum %g, SharedPower %g", got, want)
+		}
+		if p.IOW != cfg.UncoreW || p.LLCW != 0 || p.XbarW != 0 {
+			t.Fatalf("fallback should put the whole UncoreW under IO: %+v", p)
+		}
+	}
+	// With a breakdown, the scopes split but the sum must not move.
+	cfg.Uncore = UncoreBreakdown{LLCW: 10, XbarW: 5, IOW: 8}
+	cfg.UncoreW = cfg.Uncore.TotalW()
+	p := cfg.SharedPowerParts(1000)
+	if p.LLCW != 10 || p.XbarW != 5 || p.IOW != 8 {
+		t.Fatalf("breakdown not honored: %+v", p)
+	}
+	if got, want := p.LLCW+p.XbarW+p.IOW+p.DRAMW, cfg.SharedPower(1000); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("breakdown: parts sum %g, SharedPower %g", got, want)
+	}
+}
+
+// TestRunTelemetryConservation replays every policy with the sampler
+// attached and audits: the per-cluster ledger must integrate back to the
+// replay's own energy total within the default epsilon.
+func TestRunTelemetryConservation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Telemetry = timeseries.NewSampler()
+	trace := testTrace()
+	policies := []Policy{
+		NewMaxFrequency(), NewRaceToIdle(), NewStaticNT(cfg, 2500), NewAdaptive(),
+	}
+	results := make(map[string]Result)
+	for _, pol := range policies {
+		res, err := Run(cfg, pol, trace)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		results[pol.Name()] = res
+	}
+	if err := cfg.Telemetry.Audit(0); err != nil {
+		t.Fatalf("replay telemetry failed conservation: %v", err)
+	}
+	for _, pol := range policies {
+		ser := cfg.Telemetry.Series("replay/" + pol.Name())
+		wantSamples := len(trace.Lambda) * cfg.Platform.Clusters
+		if ser.Len() != wantSamples {
+			t.Fatalf("%s: %d samples, want %d (epochs × clusters)",
+				pol.Name(), ser.Len(), wantSamples)
+		}
+		// Cross-check against the result's kWh figure too.
+		repJ, ok := ser.Reported()
+		if !ok {
+			t.Fatalf("%s: no reported total", pol.Name())
+		}
+		wantJ := results[pol.Name()].EnergyKWh * 3.6e6
+		if math.Abs(repJ-wantJ) > 1e-6*wantJ {
+			t.Fatalf("%s: reported %g J, result says %g J", pol.Name(), repJ, wantJ)
+		}
+	}
+}
+
+// TestRunTelemetryOffIsFree pins the nil gate: with no sampler configured
+// the replay result is identical (the telemetry block never runs).
+func TestRunTelemetryOffIsFree(t *testing.T) {
+	cfg := testConfig(t)
+	trace := testTrace()
+	off, err := Run(cfg, NewAdaptive(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = timeseries.NewSampler()
+	on, err := Run(cfg, NewAdaptive(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.EnergyKWh != on.EnergyKWh || off.Violations != on.Violations {
+		t.Fatalf("telemetry changed the replay: off=%+v on=%+v", off, on)
+	}
+}

@@ -45,7 +45,7 @@ func TestPanicmsg(t *testing.T) {
 
 func TestObsgate(t *testing.T) {
 	setFlag(t, lint.ObsgateAnalyzer, "obspkg", "obspkg")
-	linttest.Run(t, "testdata", lint.ObsgateAnalyzer, "obsuse", "obspkg")
+	linttest.Run(t, "testdata", lint.ObsgateAnalyzer, "obsuse", "obspkg", "obspkg/ts")
 }
 
 // TestRepoIsClean is the lint gate as a Go test: the full module must

@@ -8,18 +8,25 @@ import (
 )
 
 // obsgatePkgDefault is the observability package whose types are gated.
+// Matching is by pathMatches, so subpackages (internal/obs/timeseries —
+// the telemetry sampler hooks) fall under the same gate.
 const obsgatePkgDefault = "ntcsim/internal/obs"
 
 // obsgateExemptDefault lists obs types that are plain data carriers:
 // snapshots are exported state for callers to read field-by-field, and
-// constructing them structurally is exactly their contract.
-const obsgateExemptDefault = "Snapshot,HistogramSnapshot,TimingSnapshot"
+// constructing them structurally is exactly their contract. The
+// timeseries Sample/Ledger carriers are what producers hand to
+// Series.Record, and SeriesSnapshot is the expvar export.
+const obsgateExemptDefault = "Snapshot,HistogramSnapshot,TimingSnapshot," +
+	"Sample,Ledger,SeriesSnapshot"
 
 // ObsgateAnalyzer requires instrumentation call sites outside
-// internal/obs to go through the nil-receiver-safe method pattern:
-// obs.Counter/Gauge/Histogram/Timing/Registry values are obtained from
-// constructors (NewRegistry, NewHistogram, Sink methods) and touched
-// only through methods, every one of which is a no-op on nil. That
+// internal/obs (and its subpackages, notably obs/timeseries) to go
+// through the nil-receiver-safe method pattern:
+// obs.Counter/Gauge/Histogram/Timing/Registry and the telemetry
+// Sampler/Series values are obtained from constructors (NewRegistry,
+// NewHistogram, NewSampler, Sink/Series methods) and touched only
+// through methods, every one of which is a no-op on nil. That
 // pattern is what lets instrumented layers hold a nil metric pointer
 // when observability is off and keep the disabled hot path
 // byte-for-byte identical to the seed. Structural access — composite
@@ -57,7 +64,7 @@ func runObsgate(pass *analysis.Pass) (interface{}, error) {
 			return "", false
 		}
 		obj := named.Obj()
-		if obj.Pkg() == nil || obj.Pkg().Path() != obspkg {
+		if obj.Pkg() == nil || !pathMatches(obj.Pkg().Path(), obspkg) {
 			return "", false
 		}
 		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {

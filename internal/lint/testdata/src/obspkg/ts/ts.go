@@ -1,0 +1,36 @@
+// Package ts is a miniature stand-in for ntcsim/internal/obs/timeseries:
+// a sampler-hook type with nil-receiver-safe methods living in a
+// SUBPACKAGE of the gated observability tree, plus the exempt Sample
+// data carrier producers construct structurally. The obsgate test runs
+// with -obsgate.obspkg=obspkg, so this package is matched by prefix.
+package ts
+
+// Sample is a plain data carrier (exempt by name, like the real one).
+type Sample struct {
+	Epoch int
+	NJ    int64
+}
+
+// Series mimics timeseries.Series: gated, nil-receiver-safe.
+type Series struct {
+	samples []Sample
+}
+
+// NewSeries is the blessed construction path.
+func NewSeries() *Series { return &Series{} }
+
+// Record is nil-receiver safe.
+func (s *Series) Record(sm Sample) {
+	if s == nil {
+		return
+	}
+	s.samples = append(s.samples, sm)
+}
+
+// Len is nil-receiver safe.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}

@@ -2,7 +2,10 @@
 // internal/obs; the obsgate analyzer polices the boundary.
 package obsuse
 
-import "obspkg"
+import (
+	"obspkg"
+	"obspkg/ts"
+)
 
 func methodsAreFine() uint64 {
 	c := obspkg.New()
@@ -23,6 +26,22 @@ func snapshotsAreData() uint64 {
 	s := obspkg.Snap(obspkg.New())
 	empty := obspkg.Snapshot{}
 	return s.Counters["n"] + uint64(len(empty.Counters))
+}
+
+// Subpackages of the gated tree (the telemetry sampler hooks) fall
+// under the same gate: Series is gated, Sample is an exempt carrier.
+func subpackageHooks() int {
+	ser := ts.NewSeries()
+	ser.Record(ts.Sample{Epoch: 1, NJ: 42}) // carrier literal: exempt
+	var disabled *ts.Series                 // nil when telemetry is off
+	disabled.Record(ts.Sample{})            // nil-safe no-op
+	return ser.Len() + disabled.Len()
+}
+
+func subpackageStructural() int {
+	ser := ts.Series{} // want `composite literal of obs\.Series outside internal/obs`
+	ser.Record(ts.Sample{Epoch: 2})
+	return ser.Len()
 }
 
 func annotated() *obspkg.Counter {

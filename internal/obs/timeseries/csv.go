@@ -1,0 +1,162 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the telemetry dump's fixed column layout. Energy columns
+// are integer nanojoules (the ledger's native fixed point), times are
+// integer nanoseconds, floats are formatted with 'g'/-1 so the dump
+// round-trips bit-exactly through ReadCSV.
+const csvHeader = "series,epoch,cluster,start_ns,dur_ns,core_dyn_nj,core_leak_nj,llc_nj,xbar_nj,io_nj,dram_nj,freq_hz,voltage_v,util,queue,p99_ns"
+
+// csvFields is the column count of csvHeader.
+const csvFields = 16
+
+// WriteCSV dumps every series' samples in the canonical order (series
+// sorted by name, samples in record order), then one trailing
+// "#total,<series>,<joules>" comment line per reported total — readable
+// by ReadCSV, skippable by pandas' comment='#'. Output is byte-identical
+// for any worker count. A nil sampler writes just the header.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(csvHeader + "\n"); err != nil {
+		return fmt.Errorf("timeseries: writing csv: %w", err)
+	}
+	all := s.All()
+	for _, ser := range all {
+		name := ser.Name()
+		for _, sm := range ser.Samples() {
+			_, err := fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%d,%d\n",
+				name, sm.Epoch, sm.Cluster, int64(sm.Start), int64(sm.Dur),
+				sm.Energy.CoreDynNJ, sm.Energy.CoreLeakNJ, sm.Energy.LLCNJ,
+				sm.Energy.XbarNJ, sm.Energy.IONJ, sm.Energy.DRAMNJ,
+				fmtFloat(sm.FreqHz), fmtFloat(sm.VoltageV), fmtFloat(sm.Util),
+				sm.Queue, int64(sm.P99))
+			if err != nil {
+				return fmt.Errorf("timeseries: writing csv: %w", err)
+			}
+		}
+	}
+	for _, ser := range all {
+		rep, ok := ser.Reported()
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "#total,%s,%s\n", ser.Name(), fmtFloat(rep)); err != nil {
+			return fmt.Errorf("timeseries: writing csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("timeseries: writing csv: %w", err)
+	}
+	return nil
+}
+
+// fmtFloat renders a float bit-exactly and compactly ('g', shortest).
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadCSV parses a WriteCSV dump back into a Sampler (samples, running
+// sums and reported totals all reconstructed), for the report renderer
+// and round-trip tests.
+func ReadCSV(r io.Reader) (*Sampler, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("timeseries: reading csv: %w", err)
+		}
+		return nil, fmt.Errorf("timeseries: empty telemetry csv")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != csvHeader {
+		return nil, fmt.Errorf("timeseries: unexpected csv header %q", got)
+	}
+	s := NewSampler()
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "#total,"); ok {
+			name, val, ok := strings.Cut(rest, ",")
+			if !ok {
+				return nil, fmt.Errorf("timeseries: csv line %d: malformed #total", lineNo)
+			}
+			rep, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: csv line %d: total: %w", lineNo, err)
+			}
+			s.Series(name).ReportTotal(rep)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != csvFields {
+			return nil, fmt.Errorf("timeseries: csv line %d: %d fields, want %d", lineNo, len(f), csvFields)
+		}
+		sm, err := parseSample(f)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: csv line %d: %w", lineNo, err)
+		}
+		s.Series(f[0]).Record(sm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("timeseries: reading csv: %w", err)
+	}
+	return s, nil
+}
+
+// parseSample decodes the non-name columns of one csv row.
+func parseSample(f []string) (Sample, error) {
+	var sm Sample
+	ints := []struct {
+		col  int
+		name string
+		dst  *int64
+	}{
+		{3, "start_ns", (*int64)(&sm.Start)},
+		{4, "dur_ns", (*int64)(&sm.Dur)},
+		{5, "core_dyn_nj", &sm.Energy.CoreDynNJ},
+		{6, "core_leak_nj", &sm.Energy.CoreLeakNJ},
+		{7, "llc_nj", &sm.Energy.LLCNJ},
+		{8, "xbar_nj", &sm.Energy.XbarNJ},
+		{9, "io_nj", &sm.Energy.IONJ},
+		{10, "dram_nj", &sm.Energy.DRAMNJ},
+		{15, "p99_ns", (*int64)(&sm.P99)},
+	}
+	for _, c := range ints {
+		v, err := strconv.ParseInt(f[c.col], 10, 64)
+		if err != nil {
+			return Sample{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		*c.dst = v
+	}
+	var err error
+	if sm.Epoch, err = strconv.Atoi(f[1]); err != nil {
+		return Sample{}, fmt.Errorf("epoch: %w", err)
+	}
+	if sm.Cluster, err = strconv.Atoi(f[2]); err != nil {
+		return Sample{}, fmt.Errorf("cluster: %w", err)
+	}
+	if sm.Queue, err = strconv.Atoi(f[14]); err != nil {
+		return Sample{}, fmt.Errorf("queue: %w", err)
+	}
+	if sm.FreqHz, err = strconv.ParseFloat(f[11], 64); err != nil {
+		return Sample{}, fmt.Errorf("freq_hz: %w", err)
+	}
+	if sm.VoltageV, err = strconv.ParseFloat(f[12], 64); err != nil {
+		return Sample{}, fmt.Errorf("voltage_v: %w", err)
+	}
+	if sm.Util, err = strconv.ParseFloat(f[13], 64); err != nil {
+		return Sample{}, fmt.Errorf("util: %w", err)
+	}
+	return sm, nil
+}

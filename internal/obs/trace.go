@@ -127,6 +127,35 @@ func (t *Tracer) CompleteAt(cat, name string, lane int, start, d time.Duration, 
 	})
 }
 
+// CounterAt records a counter ("ph":"C") event on the simulated-time
+// axis: the viewer renders each named counter as its own track with the
+// values map stacked as an area chart — the rendering used for per-epoch
+// energy-ledger lanes. Like CompleteAt, at is an offset from the
+// simulation's t=0. Counter tracks are keyed by (pid, name), so the lane
+// identity lives in the name, not a tid.
+func (t *Tracer) CounterAt(cat, name string, at time.Duration, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	// Insertion order is irrelevant: encoding/json marshals map keys in
+	// sorted order, so the event bytes are deterministic.
+	for k, v := range values {
+		args[k] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.event(traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "C",
+		Ts:   float64(at) / 1e3,
+		Pid:  1,
+		Tid:  0,
+		Args: args,
+	})
+}
+
 // Instant records a zero-duration marker event on the given lane.
 func (t *Tracer) Instant(cat, name string, lane int, args map[string]any) {
 	if t == nil {

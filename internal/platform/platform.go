@@ -133,6 +133,17 @@ func (s *Spec) UncorePowerW(llcReadsPerSec, llcWritesPerSec, xbarPerSec float64)
 	return float64(s.Clusters)*perCluster + s.Peripherals.Power()
 }
 
+// UncorePowerParts decomposes UncorePowerW into its three attribution
+// scopes (chip-level LLC, crossbar, and peripheral/IO watts) for
+// energy telemetry. llcW+xbarW+ioW re-associates UncorePowerW's sum but
+// stays within float ulps of it — inside any conservation epsilon.
+func (s *Spec) UncorePowerParts(llcReadsPerSec, llcWritesPerSec, xbarPerSec float64) (llcW, xbarW, ioW float64) {
+	cl := float64(s.Clusters)
+	return cl * s.LLC.Power(llcReadsPerSec, llcWritesPerSec),
+		cl * s.Xbar.Power(xbarPerSec),
+		s.Peripherals.Power()
+}
+
 // MemoryPowerW returns the memory-subsystem power at the given aggregate
 // chip-level read/write bandwidth, using the paper's Table I scaling.
 func (s *Spec) MemoryPowerW(readBW, writeBW float64) float64 {

@@ -38,6 +38,7 @@ import (
 
 	"ntcsim/internal/governor"
 	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/rng"
 )
 
@@ -69,6 +70,12 @@ type Config struct {
 	// Tracer, when non-nil, gets one simulated-time lane per cluster with
 	// a span per epoch (busy fraction, frequency, backlog).
 	Tracer *obs.Tracer
+	// Telemetry, when non-nil, receives one energy-ledger sample per
+	// (cluster, epoch): the epoch's joules attributed to core dynamic,
+	// core leakage, LLC, crossbar, IO and DRAM, plus the operating point
+	// and measured load state. Counter-class and nil-gated like Metrics.
+	// Like Metrics, samples already recorded are NOT rewound by Restore.
+	Telemetry *timeseries.Series
 }
 
 // request is one in-flight request: when it arrived and how much service
@@ -147,6 +154,11 @@ type Result struct {
 	MaxQueue  int     // peak fleet-wide backlog
 	EnergyJ   float64 // energy over the trace horizon
 	AvgPowerW float64 // EnergyJ / horizon
+
+	// Ledger attributes EnergyJ by component (integer nanojoules). Only
+	// populated when Telemetry or Metrics is configured; its component
+	// sum matches EnergyJ within the conservation epsilon.
+	Ledger timeseries.Ledger
 }
 
 // Sim is one deterministic serving simulation. Construct with New, drive
@@ -181,6 +193,11 @@ type Sim struct {
 	servedEpoch                                   uint64
 	energyJ                                       float64
 	maxQueue                                      int
+
+	tel       *timeseries.Series // nil when telemetry is off
+	attrib    bool               // compute the per-epoch ledger (telemetry or metrics on)
+	ledger    timeseries.Ledger  // run-total energy attribution
+	partsMemo map[governor.Decision]partsCoeffs
 
 	loads []ClusterLoad // scratch for balancer calls
 	lanes []int         // tracer lane per cluster
@@ -250,6 +267,8 @@ func New(cfg Config, seed *rng.Stream) (*Sim, error) {
 		lbRand:  seed.Derive("serve-balance"),
 		sketch:  NewSketch(),
 		loads:   make([]ClusterLoad, cfg.Clusters),
+		tel:     cfg.Telemetry,
+		attrib:  cfg.Telemetry != nil || cfg.Metrics != nil,
 	}
 	s.lambda = make([]float64, len(cfg.Trace.Lambda))
 	for i, lam := range cfg.Trace.Lambda {
@@ -402,6 +421,31 @@ func (s *Sim) finishEpoch() error {
 	kc := s.cfg.CoresPerCluster
 	denom := float64(kc) * float64(s.stepDur)
 	start := s.stepDur * time.Duration(s.epoch)
+	rate := float64(s.servedEpoch) / stepSec
+	// Energy attribution is nil-gated behind attrib; the energy charge
+	// itself (s.energyJ) runs the identical float sequence either way.
+	var sharedLed timeseries.Ledger
+	var p99 time.Duration
+	var dynFull, leakIdle, leakSlope, vdd float64
+	if s.attrib {
+		// One cluster's share of the chip-wide standing power this epoch.
+		// The shared terms are charged once per chip but attributed per
+		// cluster, so each row carries 1/Clusters of them.
+		shared := s.gcfg.SharedPowerParts(rate)
+		cf := stepSec / float64(len(s.clusters))
+		sharedLed = timeseries.Ledger{
+			LLCNJ:  timeseries.NJ(shared.LLCW * cf),
+			XbarNJ: timeseries.NJ(shared.XbarW * cf),
+			IONJ:   timeseries.NJ(shared.IOW * cf),
+			DRAMNJ: timeseries.NJ(shared.DRAMW * cf),
+		}
+		p99 = s.sketch.Quantile(0.99)
+		co, err := s.partsFor(s.decision, kc)
+		if err != nil {
+			return fmt.Errorf("serve: epoch %d power parts: %w", s.epoch, err)
+		}
+		dynFull, leakIdle, leakSlope, vdd = co.dynFull, co.leakIdle, co.leakSlope, co.vdd
+	}
 	for i, c := range s.clusters {
 		busyFrac := float64(c.busyAcc) / denom
 		if busyFrac > 1 {
@@ -412,6 +456,24 @@ func (s *Sim) finishEpoch() error {
 			return fmt.Errorf("serve: epoch %d power: %w", s.epoch, err)
 		}
 		s.energyJ += w * stepSec
+		if s.attrib {
+			led := sharedLed
+			led.CoreDynNJ = timeseries.NJ(busyFrac * dynFull * stepSec)
+			led.CoreLeakNJ = timeseries.NJ((leakIdle + busyFrac*leakSlope) * stepSec)
+			s.ledger.Add(led)
+			s.tel.Record(timeseries.Sample{
+				Epoch:    s.epoch,
+				Cluster:  i,
+				Start:    start,
+				Dur:      s.stepDur,
+				Energy:   led,
+				FreqHz:   s.decision.FreqHz,
+				VoltageV: vdd,
+				Util:     busyFrac,
+				Queue:    c.qlen(),
+				P99:      p99,
+			})
+		}
 		if s.cfg.Tracer != nil {
 			s.cfg.Tracer.CompleteAt("serve", fmt.Sprintf("cluster %d", i), s.lanes[i], start, s.stepDur,
 				map[string]any{
@@ -423,8 +485,8 @@ func (s *Sim) finishEpoch() error {
 		}
 		c.busyAcc = 0
 	}
-	s.lastRate = float64(s.servedEpoch) / stepSec
-	s.energyJ += s.gcfg.SharedPower(s.lastRate) * stepSec
+	s.lastRate = rate
+	s.energyJ += s.gcfg.SharedPower(rate) * stepSec
 	s.servedEpoch = 0
 	return nil
 }
@@ -495,7 +557,73 @@ func (s *Sim) Run(ctx context.Context) (Result, error) {
 	if err := s.RunUntil(ctx, len(s.lambda)+1); err != nil {
 		return Result{}, err
 	}
+	// Report the conserved total: everything energyJ accumulated. On a
+	// restored Sim this includes pre-snapshot epochs, mirroring how the
+	// restored ledger carries them (see Snapshot).
+	s.tel.ReportTotal(s.energyJ)
+	s.publishEnergyGauges()
 	return s.Result(), nil
+}
+
+// publishEnergyGauges exposes the run's energy attribution as
+// per-component gauges (serve.energy.<policy>.<balancer>.<component>_j),
+// so the DES reports the same ledger schema as the replay telemetry.
+// Keys embed the scenario, keeping every writer unique (the gauge
+// determinism rule).
+func (s *Sim) publishEnergyGauges() {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	prefix := "serve.energy." + s.pol.Name() + "." + s.bal.Name() + "."
+	set := func(component string, nj int64) {
+		m.Gauge(prefix + component).Set(float64(nj) / 1e9)
+	}
+	set("core_dyn_j", s.ledger.CoreDynNJ)
+	set("core_leak_j", s.ledger.CoreLeakNJ)
+	set("llc_j", s.ledger.LLCNJ)
+	set("xbar_j", s.ledger.XbarNJ)
+	set("io_j", s.ledger.IONJ)
+	set("dram_j", s.ledger.DRAMNJ)
+}
+
+// partsCoeffs caches the attribution split for one decision: DynW scales
+// with the busy fraction, LeakW interpolates between all-idle and
+// all-busy (the boost premium is constant in busy), so per cluster the
+// ledger is pure arithmetic on these four floats.
+type partsCoeffs struct {
+	dynFull, leakIdle, leakSlope, vdd float64
+}
+
+// partsFor memoizes CorePowerParts' affine coefficients per decision.
+// Policies revisit a handful of operating points over a trace, so the
+// memo bounds the attribution cost to one operating-point solve pair per
+// distinct decision — the telemetry-on hot path stays inside the <2%
+// overhead budget (BenchmarkObsOverheadSampler). The cache is derived
+// state, deterministically recomputable, so snapshots skip it.
+func (s *Sim) partsFor(d governor.Decision, kc int) (partsCoeffs, error) {
+	if co, ok := s.partsMemo[d]; ok {
+		return co, nil
+	}
+	parts0, err := s.gcfg.CorePowerParts(d, kc, 0)
+	if err != nil {
+		return partsCoeffs{}, err
+	}
+	parts1, err := s.gcfg.CorePowerParts(d, kc, 1)
+	if err != nil {
+		return partsCoeffs{}, err
+	}
+	co := partsCoeffs{
+		dynFull:   parts1.DynW,
+		leakIdle:  parts0.LeakW,
+		leakSlope: parts1.LeakW - parts0.LeakW,
+		vdd:       parts1.Vdd,
+	}
+	if s.partsMemo == nil {
+		s.partsMemo = make(map[governor.Decision]partsCoeffs)
+	}
+	s.partsMemo[d] = co
+	return co, nil
 }
 
 // Result reads the current summary; call after Run (or mid-run for
@@ -517,5 +645,6 @@ func (s *Sim) Result() Result {
 		MaxQueue:   s.maxQueue,
 		EnergyJ:    s.energyJ,
 		AvgPowerW:  s.energyJ / horizon,
+		Ledger:     s.ledger,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ntcsim/internal/governor"
+	"ntcsim/internal/obs/timeseries"
 )
 
 // genState is the checkpointable state of an ArrivalGen (the trace and
@@ -62,6 +63,7 @@ type Snapshot struct {
 	servedEpoch                                   uint64
 	energyJ                                       float64
 	maxQueue                                      int
+	ledger                                        timeseries.Ledger
 }
 
 // Snapshot captures the Sim's current state. The returned value owns its
@@ -90,6 +92,7 @@ func (s *Sim) Snapshot() *Snapshot {
 		servedEpoch:  s.servedEpoch,
 		energyJ:      s.energyJ,
 		maxQueue:     s.maxQueue,
+		ledger:       s.ledger,
 	}
 	if sb, ok := s.bal.(statefulBalancer); ok {
 		snap.balState = sb.balancerState()
@@ -146,4 +149,8 @@ func (s *Sim) Restore(snap *Snapshot) {
 	s.servedEpoch = snap.servedEpoch
 	s.energyJ = snap.energyJ
 	s.maxQueue = snap.maxQueue
+	// The ledger accumulator rewinds with the energy it attributes;
+	// telemetry SAMPLES already recorded to an attached series are NOT
+	// rewound, same as metrics (see the Restore comment above).
+	s.ledger = snap.ledger
 }

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
+	"ntcsim/internal/rng"
+)
+
+// TestTelemetryConservation is the DES-side conservation property: over a
+// utilization × fleet-shape grid, the per-cluster ledger the sampler
+// collects must integrate back to the simulator's own EnergyJ within the
+// default epsilon — no component dropped, double-charged or mis-scaled.
+func TestTelemetryConservation(t *testing.T) {
+	shapes := []struct{ clusters, cores int }{{1, 4}, {2, 4}, {9, 4}}
+	for _, sh := range shapes {
+		for _, rho := range []float64{0.3, 0.5, 0.7, 0.85} {
+			gov := testGov(t, sh.clusters*sh.cores)
+			// Load the fleet to roughly rho of its QoS-limited capacity.
+			maxUIPS := gov.Curve.UIPSAt(gov.Curve.MaxFreq())
+			lambda := rho * gov.Tail.MaxLoad(gov.QoSLimit, maxUIPS)
+			sampler := timeseries.NewSampler()
+			cfg := Config{
+				Gov:             gov,
+				Policy:          Tracking{},
+				Balancer:        NewJSQ(),
+				Clusters:        sh.clusters,
+				CoresPerCluster: sh.cores,
+				Trace:           constTrace(lambda, 20, time.Second),
+				Warmup:          2 * time.Second,
+				Telemetry:       sampler.Series("des"),
+			}
+			sim, err := New(cfg, rng.New(uint64(sh.clusters)*1000+uint64(rho*100)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sampler.Audit(0); err != nil {
+				t.Fatalf("shape %dx%d rho %.2f: %v", sh.clusters, sh.cores, rho, err)
+			}
+			// The Result carries the same ledger the series collected.
+			if got, want := res.Ledger.TotalJ(), res.EnergyJ; math.Abs(got-want) > timeseries.DefaultEpsilon*math.Max(1, want) {
+				t.Fatalf("shape %dx%d rho %.2f: Result.Ledger %g J vs EnergyJ %g J",
+					sh.clusters, sh.cores, rho, got, want)
+			}
+			wantSamples := 20 * sh.clusters
+			if n := sampler.Series("des").Len(); n != wantSamples {
+				t.Fatalf("shape %dx%d rho %.2f: %d samples, want %d",
+					sh.clusters, sh.cores, rho, n, wantSamples)
+			}
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturbRun pins the nil gate from the DES side: a
+// run with the sampler attached must produce byte-for-byte the same
+// Result (ledger aside) as one without.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	run := func(tel *timeseries.Series) Result {
+		cfg := testConfig(t)
+		cfg.Telemetry = tel
+		sim, err := New(cfg, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(nil)
+	on := run(timeseries.NewSampler().Series("x"))
+	// The ledger is attribution-only; everything else must match exactly.
+	on.Ledger = timeseries.Ledger{}
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("telemetry perturbed the simulation:\noff %+v\non  %+v", off, on)
+	}
+}
+
+// TestTelemetrySnapshotResume checks the documented snapshot semantics:
+// the ledger accumulator rewinds with Restore (so the resumed Result's
+// attribution equals the uninterrupted run's), while the resumed series
+// records exactly the post-snapshot epochs.
+func TestTelemetrySnapshotResume(t *testing.T) {
+	ctx := context.Background()
+	const cut = 4
+
+	fullSampler := timeseries.NewSampler()
+	fullCfg := testConfig(t)
+	fullCfg.Telemetry = fullSampler.Series("full")
+	sim, err := New(fullCfg, rng.New(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSamples := fullSampler.Series("full").Samples()
+
+	// Run to the cut, snapshot, resume in a fresh sim with a fresh series.
+	cutCfg := testConfig(t)
+	cutCfg.Telemetry = timeseries.NewSampler().Series("head")
+	head, err := New(cutCfg, rng.New(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := head.RunUntil(ctx, cut); err != nil {
+		t.Fatal(err)
+	}
+	snap := head.Snapshot()
+
+	tailSampler := timeseries.NewSampler()
+	tailCfg := testConfig(t)
+	tailCfg.Telemetry = tailSampler.Series("tail")
+	resumed, err := New(tailCfg, rng.New(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Restore(snap)
+	got, err := resumed.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	// The resumed series holds only the tail; it must equal the full
+	// run's samples from the cut on (energy-wise identical epochs).
+	tail := tailSampler.Series("tail").Samples()
+	clusters := tailCfg.Clusters
+	wantTail := fullSamples[cut*clusters:]
+	if !reflect.DeepEqual(tail, wantTail) {
+		t.Fatalf("resumed samples differ from the full run's tail:\nwant %+v\ngot  %+v",
+			wantTail, tail)
+	}
+}
+
+// TestEnergyGauges checks the satellite: with a metrics registry attached
+// the run publishes the six-component ledger as gauges under the
+// scenario-scoped prefix, summing to EnergyJ.
+func TestEnergyGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.Metrics = reg
+	sim, err := New(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := "serve.energy." + cfg.Policy.Name() + "." + cfg.Balancer.Name() + "."
+	var sum float64
+	for _, comp := range []string{"core_dyn_j", "core_leak_j", "llc_j", "xbar_j", "io_j", "dram_j"} {
+		v := reg.Gauge(prefix + comp).Value()
+		if v < 0 {
+			t.Fatalf("gauge %s%s negative: %g", prefix, comp, v)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("energy gauges all zero")
+	}
+	if math.Abs(sum-res.EnergyJ) > timeseries.DefaultEpsilon*math.Max(1, res.EnergyJ) {
+		t.Fatalf("gauges sum to %g J, EnergyJ is %g J", sum, res.EnergyJ)
+	}
+}
