@@ -1,17 +1,24 @@
 // Command ntclint runs ntcsim's static-analysis suite (internal/lint):
-// five analyzers that mechanically enforce the simulator's determinism
+// nine analyzers that mechanically enforce the simulator's determinism
 // and instrumentation invariants — wallclock, globalrand, maprange,
-// panicmsg, obsgate. See the internal/lint package documentation for
-// what each rule encodes and the //ntclint:allow escape hatch.
+// panicmsg, obsgate, units, floatorder, snapshotcheck, ctxloop. See the
+// internal/lint package documentation for what each rule encodes and
+// the //ntclint:allow escape hatch.
 //
 // Two modes share one binary:
 //
-//	ntclint [dir]             standalone: lint every package of the
+//	ntclint [-format text|json|sarif] [dir]
+//	                          standalone: lint every package of the
 //	                          enclosing module (default: the module
 //	                          containing the working directory)
 //	go vet -vettool=ntclint   as a vet tool: the go command drives the
 //	                          suite per compilation unit, including
 //	                          cached incremental re-runs
+//
+// -format selects the standalone report: "text" (default) prints one
+// line per finding, "json" a flat array of findings, and "sarif" a
+// SARIF 2.1.0 log for CI annotation uploads. All three are produced
+// from the same deduplicated findings, so they always agree.
 //
 // The Makefile's `make lint` target (a dependency of `make test`) uses
 // the vettool form. Exit status is non-zero when any violation is
@@ -19,6 +26,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -32,14 +40,23 @@ func main() {
 	if vetInvocation(os.Args[1:]) {
 		unitchecker.Main(lint.Analyzers()...) // does not return
 	}
-	dir := "."
-	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "-h" || len(args) > 1 {
-		fmt.Fprintln(os.Stderr, "usage: ntclint [module-dir]  (or: go vet -vettool=$(command -v ntclint) ./...)")
+	fs := flag.NewFlagSet("ntclint", flag.ExitOnError)
+	format := fs.String("format", "text", "report format: text, json, or sarif")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ntclint [-format text|json|sarif] [module-dir]  (or: go vet -vettool=$(command -v ntclint) ./...)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if len(args) == 1 {
-		dir = args[0]
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		dir = fs.Arg(0)
+	default:
+		fs.Usage()
+		os.Exit(2)
 	}
 	root, modpath, err := lint.FindModule(dir)
 	if err != nil {
@@ -51,8 +68,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ntclint:", err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	switch *format {
+	case "text":
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ntclint:", err)
+			os.Exit(1)
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, root, lint.Analyzers(), diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ntclint:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ntclint: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ntclint: %d violation(s)\n", len(diags))

@@ -274,6 +274,10 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		// k is bit-identical to one that succeeds on attempt 0. Obs
 		// harvest, trace completion and progress fire only on the
 		// successful attempt, so metrics stay counter-class exact.
+		// The loop is bounded by e.Retries, and cancellation surfaces
+		// through runPoint's error (context.Canceled/DeadlineExceeded
+		// both return immediately below), so ctx is observed indirectly.
+		//ntclint:allow ctxloop bounded by e.Retries; runPoint returns ctx errors which exit immediately
 		for attempt := 0; ; attempt++ {
 			err := e.runPoint(p, sw, cfg, ck, root, freqs, points, samples, i, attempt)
 			if err == nil {
@@ -296,6 +300,9 @@ func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsH
 		var totalJ float64
 		for i := range samples {
 			tel.Record(samples[i])
+			// Sequential by construction: this loop runs after the fan-out
+			// barrier, in fixed point order, so the sum is order-stable.
+			//ntclint:allow floatorder post-barrier sequential loop in fixed index order
 			totalJ += points[i].Power.TotalW() // × 1s pseudo-horizon
 		}
 		tel.ReportTotal(totalJ)

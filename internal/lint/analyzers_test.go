@@ -48,6 +48,26 @@ func TestObsgate(t *testing.T) {
 	linttest.Run(t, "testdata", lint.ObsgateAnalyzer, "obsuse", "obspkg", "obspkg/ts")
 }
 
+func TestUnits(t *testing.T) {
+	setFlag(t, lint.UnitsAnalyzer, "packages", "unitsbad,unitsok,unitsallowed")
+	linttest.Run(t, "testdata", lint.UnitsAnalyzer, "unitsbad", "unitsok", "unitsallowed")
+}
+
+func TestFloatorder(t *testing.T) {
+	setFlag(t, lint.FloatorderAnalyzer, "parallelpkg", "fopar")
+	linttest.Run(t, "testdata", lint.FloatorderAnalyzer, "fobad", "fook", "foallowed", "fopar")
+}
+
+func TestSnapshotcheck(t *testing.T) {
+	setFlag(t, lint.SnapshotcheckAnalyzer, "packages", "snapbad,snapok,snapallowed")
+	linttest.Run(t, "testdata", lint.SnapshotcheckAnalyzer, "snapbad", "snapok", "snapallowed")
+}
+
+func TestCtxloop(t *testing.T) {
+	setFlag(t, lint.CtxloopAnalyzer, "packages", "ctxbad,ctxok,ctxallowed")
+	linttest.Run(t, "testdata", lint.CtxloopAnalyzer, "ctxbad", "ctxok", "ctxallowed")
+}
+
 // TestRepoIsClean is the lint gate as a Go test: the full module must
 // carry zero unannotated violations with the production configuration.
 // It runs the same standalone driver as `ntclint`, so `go test ./...`

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ctxloopPkgDefault lists the packages whose long-running loops must be
+// cancellable: the sweep orchestrator and the worker-pool fan-out layer.
+// A sweep across a large frequency×voltage grid can run for minutes;
+// accepting a context and then spinning without consulting it turns
+// cancellation (Ctrl-C, test timeouts, fault-injection aborts) into a
+// hang.
+const ctxloopPkgDefault = "ntcsim/internal/core,ntcsim/internal/parallel"
+
+// CtxloopAnalyzer flags unbounded loops (for {} and for cond-less
+// retry loops) inside context-accepting functions that never observe the
+// context: no ctx.Done(), ctx.Err(), or context.Cause(ctx) anywhere in
+// the loop body. Function literals nested inside a context-accepting
+// function are checked against the enclosing function's context
+// parameter as well as their own.
+var CtxloopAnalyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "require unbounded loops in context-accepting functions to observe ctx\n\n" +
+		"A `for {` loop in a function taking a context.Context must reference\n" +
+		"ctx.Done(), ctx.Err(), or context.Cause in its body so cancellation can\n" +
+		"stop it. Annotate //ntclint:allow ctxloop <reason> for loops bounded by\n" +
+		"other means.",
+	Run: runCtxloop,
+}
+
+func init() {
+	CtxloopAnalyzer.Flags.String("packages", ctxloopPkgDefault,
+		"comma-separated package path prefixes whose unbounded loops must observe ctx")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// contextParams returns the objects of all context.Context parameters of
+// a function type, resolved through the type checker.
+func contextParams(pass *analysis.Pass, ftype *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, f := range ftype.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func runCtxloop(pass *analysis.Pass) (interface{}, error) {
+	pkgs := pass.Analyzer.Flags.Lookup("packages").Value.String()
+	if !pathMatches(pkgPath(pass), pkgs) {
+		return nil, nil
+	}
+	ai := newAllowIndex(pass, pass.Analyzer.Name)
+
+	// observesCtx reports whether the loop body consults any in-scope
+	// context: a method call Done/Err/Deadline on a context value, or a
+	// call to context.Cause/context.AfterFunc with one.
+	observesCtx := func(body *ast.BlockStmt, inScope map[types.Object]bool) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Done", "Err", "Deadline", "Cause", "AfterFunc":
+			default:
+				return true
+			}
+			// ctx.Done() / ctx.Err() on a tracked context variable.
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && inScope[obj] {
+					found = true
+					return false
+				}
+				// context.Cause(ctx): the package qualifier form.
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "context" {
+					found = true
+					return false
+				}
+			}
+			// Any expression of context type works too (s.ctx.Done()).
+			if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isContextType(t) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	// walk descends through functions, accumulating the context
+	// parameters in scope (an inner literal sees the outer function's
+	// ctx through closure capture).
+	var walk func(n ast.Node, inScope map[types.Object]bool)
+	checkBody := func(body *ast.BlockStmt, inScope map[types.Object]bool) {
+		if body == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// New scope: add this literal's own ctx params.
+				inner := map[types.Object]bool{}
+				for o := range inScope {
+					inner[o] = true
+				}
+				for _, o := range contextParams(pass, n.Type) {
+					inner[o] = true
+				}
+				walk(n.Body, inner)
+				return false
+			case *ast.ForStmt:
+				if n.Cond != nil || len(inScope) == 0 {
+					return true
+				}
+				if observesCtx(n.Body, inScope) || ai.allowed(n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"unbounded loop in a context-accepting function never observes "+
+						"ctx: check ctx.Err()/ctx.Done() in the loop so cancellation "+
+						"can stop it, or annotate //ntclint:allow ctxloop <reason>",
+				)
+			}
+			return true
+		})
+	}
+	walk = func(n ast.Node, inScope map[types.Object]bool) {
+		body, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return
+		}
+		checkBody(body, inScope)
+	}
+
+	eachNonTestFile(pass, func(f *ast.File) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scope := map[types.Object]bool{}
+			for _, o := range contextParams(pass, fd.Type) {
+				scope[o] = true
+			}
+			checkBody(fd.Body, scope)
+		}
+	})
+	return nil, nil
+}

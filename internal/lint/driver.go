@@ -307,7 +307,11 @@ func ModulePackages(root, modpath string) ([]string, error) {
 }
 
 // LintModule runs the given analyzers over every package of the module
-// rooted at root and returns the findings sorted by position.
+// rooted at root and returns the findings deduplicated and sorted by
+// position. Deduplication matters because the same file can be loaded
+// into more than one package variant (a package plus its in-package
+// test unit, or a file reached through several import chains): the same
+// (position, analyzer, message) triple is reported once per run.
 func LintModule(root, modpath string, analyzers ...*analysis.Analyzer) ([]Diagnostic, error) {
 	loader := NewLoader(ModuleResolver(root, modpath))
 	paths, err := ModulePackages(root, modpath)
@@ -326,5 +330,41 @@ func LintModule(root, modpath string, analyzers ...*analysis.Analyzer) ([]Diagno
 		}
 		all = append(all, diags...)
 	}
-	return all, nil
+	return Dedupe(all), nil
+}
+
+// Dedupe drops diagnostics whose (position, analyzer, message) triple
+// has already been seen and returns the survivors globally sorted by
+// file, line, column, analyzer.
+func Dedupe(diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file      string
+		line, col int
+		analyzer  string
+		message   string
+	}
+	seen := map[key]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
 }

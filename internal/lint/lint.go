@@ -1,4 +1,4 @@
-// Package lint is ntcsim's static-analysis suite: five
+// Package lint is ntcsim's static-analysis suite: nine
 // golang.org/x/tools/go/analysis analyzers that turn the simulator's
 // determinism and instrumentation conventions into compiler-checked
 // rules. The conventions exist because the project's headline guarantee
@@ -23,6 +23,22 @@
 //     nil-receiver-safe methods and constructors, never by building obs
 //     values structurally — that pattern is what keeps the disabled
 //     path byte-for-byte identical to the seed.
+//
+// Four flow-aware analyzers extend the suite past single-statement
+// syntax:
+//
+//   - units: physical quantities carry their unit in the identifier
+//     (powerW, energyJ, FreqHz, …Ns) or their type (time.Duration is
+//     nanoseconds); additions, assignments, returns and comparisons must
+//     combine like with like, and W·s / W·ns / W÷Hz derive J / nJ / J.
+//   - floatorder: float accumulation reachable from parallel.ForEach
+//     callbacks or harvest/merge reducers is order-dependent and breaks
+//     byte-identical-at-any-jobs; counters use int64 fixed point.
+//   - snapshotcheck: every Snapshot/Restore-style pair must mirror all
+//     stateful fields in both directions, so state added later cannot
+//     silently escape checkpointing.
+//   - ctxloop: unbounded loops in context-accepting functions under the
+//     sweep/worker packages must observe ctx.Done()/ctx.Err().
 //
 // Every analyzer shares one escape hatch: a line (or the line above)
 // carrying
@@ -55,6 +71,10 @@ func Analyzers() []*analysis.Analyzer {
 		MaprangeAnalyzer,
 		PanicmsgAnalyzer,
 		ObsgateAnalyzer,
+		UnitsAnalyzer,
+		FloatorderAnalyzer,
+		SnapshotcheckAnalyzer,
+		CtxloopAnalyzer,
 	}
 }
 

@@ -1,0 +1,190 @@
+package lint
+
+// Machine-readable diagnostics for CI: SARIF 2.1.0 (the interchange
+// format GitHub code scanning and most lint aggregators ingest) and a
+// plain JSON array for ad-hoc tooling. Both are produced from the
+// standalone driver's deduplicated Diagnostic slice, so the three
+// cmd/ntclint output modes (text, json, sarif) always agree on content.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// sarifSchemaURI and sarifVersion pin the log format; the schema test
+// validates emitted documents against the 2.1.0 required-property set.
+const (
+	sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion   = "2.1.0"
+)
+
+// The subset of SARIF 2.1.0 ntclint emits. Field names follow the
+// specification's camelCase property names exactly.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// relativeURI renders a diagnostic's filename as a forward-slash path
+// relative to the module root, the form artifact viewers expect.
+func relativeURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// docSummary extracts the one-line summary of an analyzer Doc (the
+// text before the first blank line, or the whole Doc if none).
+func docSummary(doc string) string {
+	if i := strings.Index(doc, "\n\n"); i >= 0 {
+		doc = doc[:i]
+	}
+	return strings.TrimSpace(strings.ReplaceAll(doc, "\n", " "))
+}
+
+// WriteSARIF emits the diagnostics as one SARIF 2.1.0 run. Every
+// analyzer of the suite appears in the rule catalog whether or not it
+// fired, so a clean run still documents what was checked. Paths are
+// written relative to root.
+func WriteSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, diags []Diagnostic) error {
+	driver := sarifDriver{
+		Name:  "ntclint",
+		Rules: make([]sarifRule, 0, len(analyzers)),
+	}
+	ruleIndex := map[string]int{}
+	for i, a := range analyzers {
+		ruleIndex[a.Name] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: docSummary(a.Doc)},
+			FullDescription:  sarifMessage{Text: strings.TrimSpace(a.Doc)},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			// A diagnostic from an analyzer outside the provided catalog
+			// still needs a rule entry for the ruleIndex to be valid.
+			idx = len(driver.Rules)
+			ruleIndex[d.Analyzer] = idx
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               d.Analyzer,
+				ShortDescription: sarifMessage{Text: d.Analyzer},
+			})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relativeURI(root, d.Pos.Filename)},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// jsonDiagnostic is the -format json record: one flat object per
+// finding, stable field names, sorted by the driver.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits the diagnostics as a JSON array (never null: a clean
+// run is an empty array). Paths are written relative to root.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     relativeURI(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

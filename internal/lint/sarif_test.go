@@ -1,0 +1,218 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ntcsim/internal/lint"
+)
+
+func testDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/serve/serve.go", Line: 42, Column: 7},
+			Analyzer: "units",
+			Message:  "unit mismatch in assignment: W (watts) combined with J (joules)",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/core/explorer.go", Line: 9, Column: 2},
+			Analyzer: "floatorder",
+			Message:  "order-dependent float accumulation in parallel fan-out callback",
+		},
+	}
+}
+
+// requireString fetches a non-empty string at a path through nested
+// JSON objects, failing the test with the path on any miss.
+func requireString(t *testing.T, v any, path ...string) string {
+	t.Helper()
+	for i, p := range path {
+		m, ok := v.(map[string]any)
+		if !ok {
+			t.Fatalf("SARIF: %s is not an object", strings.Join(path[:i], "."))
+		}
+		v, ok = m[p]
+		if !ok {
+			t.Fatalf("SARIF: missing required property %s", strings.Join(path[:i+1], "."))
+		}
+	}
+	s, ok := v.(string)
+	if !ok || s == "" {
+		t.Fatalf("SARIF: %s is not a non-empty string", strings.Join(path, "."))
+	}
+	return s
+}
+
+// TestSARIFSchema validates the emitted log against the SARIF 2.1.0
+// schema's required-property constraints: the sarifLog required set
+// (version, runs), run.tool.driver.name, rule id/shortDescription,
+// result message/ruleId/ruleIndex cross-reference, and physical
+// locations with 1-based regions. The validation is structural and
+// offline — the schema's required properties are asserted directly
+// rather than fetched from schemastore.
+func TestSARIFSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, "/mod", lint.Analyzers(), testDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v := requireString(t, log, "version"); v != "2.1.0" {
+		t.Fatalf("version = %q, want 2.1.0", v)
+	}
+	if s := requireString(t, log, "$schema"); !strings.Contains(s, "sarif-2.1.0") {
+		t.Fatalf("$schema = %q, want a 2.1.0 schema URI", s)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs: want exactly one run, got %v", log["runs"])
+	}
+	run := runs[0].(map[string]any)
+	if name := requireString(t, run, "tool", "driver", "name"); name != "ntclint" {
+		t.Fatalf("tool.driver.name = %q, want ntclint", name)
+	}
+	rules, ok := run["tool"].(map[string]any)["driver"].(map[string]any)["rules"].([]any)
+	if !ok {
+		t.Fatal("SARIF: tool.driver.rules is not an array")
+	}
+	if len(rules) < len(lint.Analyzers()) {
+		t.Fatalf("rule catalog has %d entries, want at least %d (one per analyzer)",
+			len(rules), len(lint.Analyzers()))
+	}
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		ruleIDs[i] = requireString(t, r, "id")
+		requireString(t, r, "shortDescription", "text")
+	}
+	results, ok := run["results"].([]any)
+	if !ok {
+		t.Fatal("SARIF: results is not an array (a clean run must emit [], not null)")
+	}
+	if len(results) != len(testDiags()) {
+		t.Fatalf("got %d results, want %d", len(results), len(testDiags()))
+	}
+	validLevels := map[string]bool{"none": true, "note": true, "warning": true, "error": true}
+	for _, raw := range results {
+		res := raw.(map[string]any)
+		requireString(t, res, "message", "text")
+		ruleID := requireString(t, res, "ruleId")
+		idx, ok := res["ruleIndex"].(float64)
+		if !ok || int(idx) < 0 || int(idx) >= len(ruleIDs) {
+			t.Fatalf("ruleIndex %v out of range", res["ruleIndex"])
+		}
+		if ruleIDs[int(idx)] != ruleID {
+			t.Fatalf("ruleIndex %d points at %q, result says ruleId %q",
+				int(idx), ruleIDs[int(idx)], ruleID)
+		}
+		if lvl := requireString(t, res, "level"); !validLevels[lvl] {
+			t.Fatalf("level = %q, not a SARIF level", lvl)
+		}
+		locs, ok := res["locations"].([]any)
+		if !ok || len(locs) == 0 {
+			t.Fatal("SARIF: result has no locations")
+		}
+		loc := locs[0].(map[string]any)
+		uri := requireString(t, loc, "physicalLocation", "artifactLocation", "uri")
+		if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Fatalf("artifact uri %q is not a relative forward-slash path", uri)
+		}
+		region := loc["physicalLocation"].(map[string]any)["region"].(map[string]any)
+		line, ok := region["startLine"].(float64)
+		if !ok || line < 1 {
+			t.Fatalf("startLine %v: SARIF regions are 1-based", region["startLine"])
+		}
+	}
+}
+
+// TestSARIFEmpty checks a clean run: results must be an empty array and
+// the rule catalog still documents the full suite.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, "/mod", lint.Analyzers(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+			Tool    struct {
+				Driver struct {
+					Rules []any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Runs[0].Results == nil {
+		t.Fatal("clean run must emit results: [], not null")
+	}
+	if got, want := len(log.Runs[0].Tool.Driver.Rules), len(lint.Analyzers()); got != want {
+		t.Fatalf("rule catalog has %d entries, want %d", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, "/mod", testDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d records, want 2", len(out))
+	}
+	if out[0].File != "internal/serve/serve.go" || out[0].Line != 42 || out[0].Analyzer != "units" {
+		t.Fatalf("unexpected first record: %+v", out[0])
+	}
+
+	buf.Reset()
+	if err := lint.WriteJSON(&buf, "/mod", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty run must emit [], got %q", got)
+	}
+}
+
+// TestDedupe checks the standalone driver's cross-variant dedup: the
+// same (position, analyzer, message) triple survives once, and the
+// result is globally position-sorted.
+func TestDedupe(t *testing.T) {
+	d1 := lint.Diagnostic{
+		Pos:      token.Position{Filename: "b.go", Line: 10, Column: 3},
+		Analyzer: "units",
+		Message:  "mismatch",
+	}
+	d2 := lint.Diagnostic{
+		Pos:      token.Position{Filename: "a.go", Line: 2, Column: 1},
+		Analyzer: "ctxloop",
+		Message:  "unbounded",
+	}
+	// Same position as d1 but a different analyzer: NOT a duplicate.
+	d3 := lint.Diagnostic{
+		Pos:      token.Position{Filename: "b.go", Line: 10, Column: 3},
+		Analyzer: "wallclock",
+		Message:  "clock read",
+	}
+	got := lint.Dedupe([]lint.Diagnostic{d1, d2, d1, d3, d2})
+	if len(got) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(got), got)
+	}
+	if got[0] != d2 || got[1] != d1 || got[2] != d3 {
+		t.Fatalf("wrong order/content after dedupe: %v", got)
+	}
+}

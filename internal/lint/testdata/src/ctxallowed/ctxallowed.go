@@ -1,0 +1,28 @@
+// Package ctxallowed exercises the ctxloop escape hatch.
+package ctxallowed
+
+import "context"
+
+// drain is annotated: the loop empties a finite buffered channel.
+func drain(ctx context.Context, ch chan int) int {
+	total := 0
+	//ntclint:allow ctxloop loop is bounded by the channel's buffered backlog, drained without blocking
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		default:
+			return total
+		}
+	}
+}
+
+// bare shows the mandatory-reason rule.
+func bare(ctx context.Context, work func() bool) {
+	//ntclint:allow ctxloop // want `needs a reason`
+	for { // want `unbounded loop in a context-accepting function never observes ctx`
+		if work() {
+			return
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package ctxbad exercises the ctxloop analyzer's positive cases:
+// unbounded loops in context-accepting functions that never consult the
+// context.
+package ctxbad
+
+import "context"
+
+// spin takes a context and ignores it.
+func spin(ctx context.Context, work func() bool) {
+	for { // want `unbounded loop in a context-accepting function never observes ctx`
+		if work() {
+			return
+		}
+	}
+}
+
+// condless three-clause loops are just as unbounded.
+func retry(ctx context.Context, attempt func(int) error) error {
+	for i := 0; ; i++ { // want `unbounded loop in a context-accepting function never observes ctx`
+		if err := attempt(i); err == nil {
+			return nil
+		}
+	}
+}
+
+// nested literals inherit the enclosing function's ctx obligation.
+func launch(ctx context.Context, work func() bool) func() {
+	return func() {
+		for { // want `unbounded loop in a context-accepting function never observes ctx`
+			if work() {
+				return
+			}
+		}
+	}
+}

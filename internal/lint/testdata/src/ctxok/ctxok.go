@@ -1,0 +1,76 @@
+// Package ctxok exercises the ctxloop analyzer's negative cases.
+package ctxok
+
+import "context"
+
+// errCheck polls ctx.Err each iteration.
+func errCheck(ctx context.Context, work func() bool) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if work() {
+			return nil
+		}
+	}
+}
+
+// doneSelect blocks on ctx.Done.
+func doneSelect(ctx context.Context, ch <-chan int) int {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0
+		case v := <-ch:
+			if v > 0 {
+				return v
+			}
+		}
+	}
+}
+
+// causeCall uses the context package helper.
+func causeCall(ctx context.Context, work func() bool) error {
+	for {
+		if err := context.Cause(ctx); err != nil {
+			return err
+		}
+		if work() {
+			return nil
+		}
+	}
+}
+
+// bounded loops carry a condition and are out of scope.
+func bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// noCtx functions owe nothing.
+func noCtx(work func() bool) {
+	for {
+		if work() {
+			return
+		}
+	}
+}
+
+// fieldCtx observes a context reached through a struct field.
+type runner struct {
+	ctx context.Context
+}
+
+func (r *runner) loop(ctx context.Context, work func() bool) {
+	for {
+		if r.ctx.Err() != nil {
+			return
+		}
+		if work() {
+			return
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package foallowed exercises the floatorder escape hatch.
+package foallowed
+
+import "fopar"
+
+// kahan is annotated: the accumulation is protected by a mutex-ordered
+// reduction upstream (hypothetically), and the author says why.
+func kahan(xs []float64) float64 {
+	var sum float64
+	fopar.ForEach(len(xs), func(i int) {
+		//ntclint:allow floatorder single worker by construction: jobs is pinned to 1 here
+		sum += xs[i]
+	})
+	return sum
+}
+
+// mergeBare shows the mandatory-reason rule.
+func mergeBare(parts []float64) float64 {
+	var out float64
+	for _, p := range parts {
+		//ntclint:allow floatorder // want `needs a reason`
+		out += p // want `order-dependent float accumulation`
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package fobad exercises the floatorder analyzer's positive cases:
+// order-dependent float accumulation reachable from parallel callbacks
+// and merge/harvest reducers.
+package fobad
+
+import "fopar"
+
+// sumDirect accumulates a float inside a fan-out callback.
+func sumDirect(xs []float64) float64 {
+	var sum float64
+	fopar.ForEach(len(xs), func(i int) {
+		sum += xs[i] // want `order-dependent float accumulation`
+	})
+	return sum
+}
+
+// sumExplicit uses the spelled-out x = x + e form.
+func sumExplicit(xs []float64) float64 {
+	var total float64
+	fopar.ForEach(len(xs), func(i int) {
+		total = total + xs[i] // want `order-dependent float accumulation`
+	})
+	return total
+}
+
+// accumulate is only ever called from a callback: the transitive
+// closure marks it through the call edge.
+func accumulate(acc *state, v float64) {
+	acc.energy += v // want `order-dependent float accumulation`
+}
+
+type state struct {
+	energy float64
+}
+
+func sumViaHelper(xs []float64) float64 {
+	var st state
+	fopar.ForEach(len(xs), func(i int) {
+		accumulate(&st, xs[i])
+	})
+	return st.energy
+}
+
+// funcRef passes a declared function (not a literal) to the pool.
+var shared state
+
+func worker(i int) {
+	shared.energy += float64(i) // want `order-dependent float accumulation`
+}
+
+func sumViaRef(n int) float64 {
+	fopar.ForEach(n, worker)
+	return shared.energy
+}
+
+// mergeResults matches the harvest/merge root-name convention even with
+// no parallel call in sight: reducers fold per-worker partials whose
+// completion order is scheduling-dependent.
+func mergeResults(parts []float64) float64 {
+	var out float64
+	for _, p := range parts {
+		out -= p // want `order-dependent float accumulation`
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+// Package fook exercises the floatorder analyzer's negative cases: none
+// of these may produce a diagnostic.
+package fook
+
+import "fopar"
+
+// fixedPoint accumulates in int64 — integer addition is associative, so
+// worker order cannot change the result.
+func fixedPoint(xs []int64) int64 {
+	var sumNJ int64
+	fopar.ForEach(len(xs), func(i int) {
+		sumNJ += xs[i]
+	})
+	return sumNJ
+}
+
+// sequential float accumulation outside any parallel reach is fine.
+func sequential(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// perIndex writes disjoint slots from the callback and reduces
+// sequentially afterwards — the blessed pattern.
+func perIndex(xs []float64) float64 {
+	out := fopar.Map(len(xs), func(i int) float64 {
+		return xs[i] * 2
+	})
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// floatAssign inside a callback that is not self-accumulation is fine.
+func floatAssign(xs []float64) []float64 {
+	scaled := make([]float64, len(xs))
+	fopar.ForEach(len(xs), func(i int) {
+		scaled[i] = xs[i] * 0.5
+	})
+	return scaled
+}

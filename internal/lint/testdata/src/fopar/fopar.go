@@ -1,0 +1,22 @@
+// Package fopar is a miniature stand-in for ntcsim/internal/parallel:
+// the floatorder test runs with -floatorder.parallelpkg=fopar, so any
+// callback handed to this package is treated as running under a worker
+// pool.
+package fopar
+
+// ForEach mimics parallel.ForEach's shape; the analyzer cares about the
+// callee's package, not the signature.
+func ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Map mimics parallel.Map.
+func Map(n int, fn func(i int) float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = fn(i)
+	}
+	return out
+}

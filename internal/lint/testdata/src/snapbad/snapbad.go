@@ -1,0 +1,46 @@
+// Package snapbad exercises the snapshotcheck analyzer's positive
+// cases, including the headline scenario: a field newly added to a live
+// struct that the existing Snapshot/Restore pair does not mirror.
+package snapbad
+
+// Engine is a checkpointable type whose pair predates the newCounter
+// field — exactly the forward-protection case the analyzer exists for.
+type Engine struct {
+	tick       uint64
+	queue      []int
+	newCounter uint64 // want `field Engine.newCounter is not captured by Snapshot`
+}
+
+// Image mirrors Engine, but staleField is written by nobody and
+// readBackOnly is never restored.
+type Image struct {
+	Tick       uint64
+	Queue      []int
+	StaleField uint64 // want `snapshot field Image.StaleField is never written by Engine.Snapshot` `snapshot field Image.StaleField is never read back by Restore`
+}
+
+func (e *Engine) Snapshot() *Image {
+	return &Image{
+		Tick:  e.tick,
+		Queue: append([]int(nil), e.queue...),
+	}
+}
+
+func (e *Engine) Restore(im *Image) {
+	e.tick = im.Tick
+	e.queue = append(e.queue[:0], im.Queue...)
+}
+
+// Gen pairs the unexported state:setState convention; its rate field is
+// config that SHOULD be annotated but is not.
+type Gen struct {
+	rate float64 // want `field Gen.rate is not captured by state`
+	pos  int
+}
+
+type genState struct {
+	pos int
+}
+
+func (g *Gen) state() genState     { return genState{pos: g.pos} }
+func (g *Gen) setState(s genState) { g.pos = s.pos }

@@ -1,0 +1,22 @@
+// Package unitsallowed exercises the units escape hatch: annotated
+// intentional conversions are suppressed, and a reasonless annotation is
+// itself a violation.
+package unitsallowed
+
+// scaled intentionally reinterprets a wattage as joules over an implied
+// one-second horizon — annotated, so no units diagnostic.
+func scaled(avgW float64) float64 {
+	var horizonJ float64
+	//ntclint:allow units one-second pseudo-horizon: W numerically equals J here
+	horizonJ = avgW
+	return horizonJ
+}
+
+// bare shows the mandatory-reason rule: the reasonless annotation is
+// itself reported, and it does NOT suppress the diagnostic it sits on.
+func bare(loadW float64) float64 {
+	var sumJ float64
+	//ntclint:allow units // want `needs a reason`
+	sumJ = loadW // want `unit mismatch in assignment`
+	return sumJ
+}

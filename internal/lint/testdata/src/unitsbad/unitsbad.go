@@ -1,0 +1,50 @@
+// Package unitsbad exercises the units analyzer's positive cases: the
+// test runs with -units.packages=unitsbad,unitsok,unitsallowed.
+package unitsbad
+
+import "time"
+
+// addMismatch mixes watts with joules in one addition.
+func addMismatch(powerW, energyJ float64) float64 {
+	return powerW + energyJ // want `unit mismatch in \+ expression`
+}
+
+// subMismatch mixes seconds with nanoseconds: a time.Duration is integer
+// nanoseconds, .Seconds() is float seconds.
+func subMismatch(d time.Duration) float64 {
+	return d.Seconds() - float64(d) // want `unit mismatch in - expression`
+}
+
+// returnMismatch promises joules by name but computes watts.
+func totalEnergyJ(dynW, leakW float64) float64 {
+	return dynW + leakW // want `unit mismatch in return value`
+}
+
+// assignMismatch stores a wattage in a joule-named variable.
+func assignMismatch(loadW float64) float64 {
+	var sumJ float64
+	sumJ = loadW // want `unit mismatch in assignment`
+	return sumJ
+}
+
+// compareMismatch compares volts against hertz.
+func compareMismatch(vdd, clockHz float64) bool {
+	return vdd > clockHz // want `unit mismatch in comparison`
+}
+
+// litMismatch fills a J-suffixed field with watts.
+type budget struct {
+	CapJ float64
+}
+
+func litMismatch(idleW float64) budget {
+	return budget{
+		CapJ: idleW, // want `unit mismatch in composite literal field CapJ`
+	}
+}
+
+// namedResultMismatch declares its unit on the named result.
+func namedResult(busW float64) (outHz float64) {
+	outHz = busW // want `unit mismatch in assignment`
+	return
+}

@@ -1,0 +1,50 @@
+// Package unitsok exercises the units analyzer's negative cases: all of
+// these are dimensionally consistent and must produce no diagnostics.
+package unitsok
+
+import "time"
+
+// derive exercises the multiplication/division tables.
+func derive(powerW, freqHz float64, step time.Duration) float64 {
+	energyJ := powerW * step.Seconds() // W · s → J
+	perCycleJ := powerW / freqHz       // W ÷ Hz → J
+	backW := energyJ / step.Seconds()  // J ÷ s → W
+	chargeNJ := powerW * float64(step) // W · ns → nJ
+	idleNs := chargeNJ / backW         // nJ ÷ W → ns
+	_ = idleNs
+	return energyJ + perCycleJ
+}
+
+// likeWithLike adds matching units.
+func likeWithLike(dynW, leakW float64) float64 {
+	totalW := dynW + leakW
+	return totalW
+}
+
+// scalars carry no units and never trigger.
+func scalars(count int, ratio float64) float64 {
+	return float64(count) * ratio
+}
+
+// conversions pass units through numeric casts.
+func conversions(d time.Duration) int64 {
+	ns := int64(d)
+	return ns
+}
+
+// nj converts joules to integer nanojoules by scaling; the helper's
+// name declares its result unit, so callers see nJ, not J.
+func nj(j float64) int64 { return int64(j * 1e9) }
+
+type ledger struct {
+	CoreNJ int64
+}
+
+func book(powerW float64, step time.Duration) ledger {
+	return ledger{CoreNJ: heatNJ(powerW, step)}
+}
+
+// heatNJ's suffix declares nanojoules.
+func heatNJ(powerW float64, step time.Duration) int64 {
+	return nj(powerW * step.Seconds())
+}

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// unitsPkgDefault lists the packages held to the dimensional-consistency
+// rule: every layer that computes physical quantities — the power models,
+// the technology layer, the governor's energy accounting, the serving
+// DES's epoch charging, and the telemetry ledger.
+const unitsPkgDefault = "ntcsim/internal/power," +
+	"ntcsim/internal/tech," +
+	"ntcsim/internal/governor," +
+	"ntcsim/internal/serve," +
+	"ntcsim/internal/obs/timeseries"
+
+// UnitsAnalyzer type-checks the simulator's physics: identifiers, struct
+// fields and functions carrying a unit suffix (…W, …J, …NJ, …Hz, …V, …F,
+// …Ns, …Sec/Seconds, …KWh — plus time.Duration values, which are integer
+// nanoseconds by construction) declare the physical unit of their value,
+// and the analyzer propagates those units through expressions, flagging
+// any addition, subtraction, comparison, assignment, keyed composite
+// field, or return that mixes two different units. Multiplication and
+// division DERIVE units where the combination is physically meaningful
+// (W·s → J, W·ns → nJ, W/Hz → J, J/s → W, nJ/ns → W, J/W → s, nJ/W → ns);
+// all other products are treated as unknown, so dimensionless scale
+// factors never trigger false alarms.
+//
+// This is the mechanical form of the energy-conservation contract: joules
+// are only ever computed as watts times seconds (or booked directly in
+// integer nanojoules), and a W-valued expression can never silently land
+// in a J-valued slot — the class of bug the timeseries Audit catches at
+// run time, caught here at vet time.
+var UnitsAnalyzer = &analysis.Analyzer{
+	Name: "units",
+	Doc: "flag arithmetic mixing physical units (J, nJ, kWh, W, V, Hz, F, ns, s)\n\n" +
+		"Identifier and function suffixes (powerW, energyJ, FreqHz, durNs, …Seconds)\n" +
+		"and time.Duration values declare units; +, -, comparisons, assignments and\n" +
+		"returns must combine like with like. W·s and W/Hz derive J, W·ns derives nJ.\n" +
+		"Annotate //ntclint:allow units <reason> for intentional unit conversions.",
+	Run: runUnits,
+}
+
+func init() {
+	UnitsAnalyzer.Flags.String("packages", unitsPkgDefault,
+		"comma-separated package path prefixes held to the dimensional-consistency rule")
+}
+
+// unitDescs names each unit in diagnostics.
+var unitDescs = map[string]string{
+	"J":   "joules",
+	"nJ":  "nanojoules",
+	"kWh": "kilowatt-hours",
+	"W":   "watts",
+	"V":   "volts",
+	"Hz":  "hertz",
+	"MHz": "megahertz",
+	"GHz": "gigahertz",
+	"F":   "farads",
+	"ns":  "nanoseconds",
+	"s":   "seconds",
+}
+
+// unitSuffixes maps name suffixes to units, longest-match-first. The
+// multi-letter suffixes must be checked before the single capital letters
+// (EnergyKWh must not read as …W, TotalNJ must not read as …J).
+var unitSuffixes = []struct {
+	suffix string
+	unit   string
+}{
+	{"KWh", "kWh"},
+	{"NJ", "nJ"},
+	{"GHz", "GHz"},
+	{"MHz", "MHz"},
+	{"Hz", "Hz"},
+	{"Ns", "ns"},
+	{"Seconds", "s"},
+	{"Secs", "s"},
+	{"Sec", "s"},
+	{"Vdd", "V"},
+	{"Vbb", "V"},
+	{"Joules", "J"},
+	{"Watts", "W"},
+	// Whole-word conventions used by the power/platform layers: Power-
+	// and Freq-suffixed functions return watts and hertz.
+	{"Power", "W"},
+	{"Voltage", "V"},
+	{"Freq", "Hz"},
+}
+
+// unitExactNames classifies short conventional names that carry no
+// detectable suffix.
+var unitExactNames = map[string]string{
+	"hz":     "Hz",
+	"ns":     "ns",
+	"vdd":    "V",
+	"vbb":    "V",
+	"joules": "J",
+	"watts":  "W",
+}
+
+// unitOfName infers the unit an identifier's name declares, if any.
+func unitOfName(name string) (string, bool) {
+	if u, ok := unitExactNames[name]; ok {
+		return u, true
+	}
+	// A whole-name match counts too: timeseries.NJ(j) converts joules to
+	// nanojoules, so a call of NJ yields nJ.
+	for _, s := range unitSuffixes {
+		if len(name) >= len(s.suffix) && strings.HasSuffix(name, s.suffix) {
+			return s.unit, true
+		}
+	}
+	// Single capital-letter suffixes: powerW, energyJ, VoltageV, CeffF.
+	// The capital requirement keeps ordinary words (raw, now, prev) out.
+	if len(name) >= 2 {
+		switch name[len(name)-1] {
+		case 'J':
+			return "J", true
+		case 'W':
+			return "W", true
+		case 'V':
+			return "V", true
+		case 'F':
+			return "F", true
+		}
+	}
+	return "", false
+}
+
+// unitMulTable derives the unit of a product of two known units; the key
+// pair is unordered.
+var unitMulTable = map[[2]string]string{
+	{"W", "s"}:  "J",
+	{"W", "ns"}: "nJ",
+}
+
+// unitQuoTable derives the unit of a quotient numerator/denominator.
+var unitQuoTable = map[[2]string]string{
+	{"J", "s"}:   "W",
+	{"nJ", "ns"}: "W",
+	{"J", "W"}:   "s",
+	{"nJ", "W"}:  "ns",
+	{"W", "Hz"}:  "J",
+}
+
+// unitScope resolves units of expressions within one pass.
+type unitScope struct {
+	pass *analysis.Pass
+}
+
+// isNumeric reports whether t is a numeric type (through named types), so
+// strings, bools and structs never acquire units.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// unitOf infers the physical unit of an expression, or ok=false when no
+// unit can be established.
+func (us *unitScope) unitOf(e ast.Expr) (string, bool) {
+	tv, ok := us.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	// A time.Duration value is an integer count of nanoseconds no matter
+	// how it was built.
+	if isDuration(tv.Type) {
+		return "ns", true
+	}
+	if !isNumeric(tv.Type) {
+		return "", false
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return us.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return us.unitOf(e.X)
+		}
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.CallExpr:
+		// Numeric conversions (float64(d), int64(x)) preserve the
+		// argument's unit: scale changes ride on names, not casts.
+		if tv, ok := us.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return us.unitOf(e.Args[0])
+		}
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return unitOfName(fun.Name)
+		case *ast.SelectorExpr:
+			return unitOfName(fun.Sel.Name)
+		}
+	case *ast.BinaryExpr:
+		x, okx := us.unitOf(e.X)
+		y, oky := us.unitOf(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if okx && oky && x == y {
+				return x, true
+			}
+		case token.MUL:
+			if okx && oky {
+				if u, ok := unitMulTable[[2]string{x, y}]; ok {
+					return u, true
+				}
+				if u, ok := unitMulTable[[2]string{y, x}]; ok {
+					return u, true
+				}
+			}
+		case token.QUO:
+			if okx && oky {
+				if u, ok := unitQuoTable[[2]string{x, y}]; ok {
+					return u, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// describe renders a unit for a diagnostic.
+func describeUnit(u string) string {
+	if d, ok := unitDescs[u]; ok {
+		return u + " (" + d + ")"
+	}
+	return u
+}
+
+func runUnits(pass *analysis.Pass) (interface{}, error) {
+	pkgs := pass.Analyzer.Flags.Lookup("packages").Value.String()
+	if !pathMatches(pkgPath(pass), pkgs) {
+		return nil, nil
+	}
+	us := &unitScope{pass: pass}
+	ai := newAllowIndex(pass, pass.Analyzer.Name)
+	report := func(pos token.Pos, context, a, b string) {
+		if ai.allowed(pos) {
+			return
+		}
+		pass.Reportf(pos,
+			"unit mismatch in %s: %s combined with %s — convert explicitly, or annotate "+
+				"//ntclint:allow units <reason> for an intentional conversion",
+			context, describeUnit(a), describeUnit(b))
+	}
+	// funcUnit returns the declared result unit of a function, if its
+	// single result is numeric and its name (or named result) carries one.
+	funcUnit := func(name string, ftype *ast.FuncType) (string, bool) {
+		if ftype.Results == nil || len(ftype.Results.List) != 1 {
+			return "", false
+		}
+		f := ftype.Results.List[0]
+		if len(f.Names) == 1 {
+			if u, ok := unitOfName(f.Names[0].Name); ok {
+				return u, true
+			}
+		}
+		if len(f.Names) > 1 {
+			return "", false
+		}
+		if name != "" {
+			return unitOfName(name)
+		}
+		return "", false
+	}
+	// check inspects one non-function node for unit mixing. retUnit/retOK
+	// carry the declared result unit of the nearest enclosing function so
+	// return statements can be validated against it; walk recurses into
+	// FuncDecl/FuncLit bodies with an updated binding, giving exact
+	// nearest-enclosing semantics even for sibling literals.
+	var walk func(n ast.Node, retUnit string, retOK bool)
+	check := func(n ast.Node, retUnit string, retOK bool) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB:
+				x, okx := us.unitOf(n.X)
+				y, oky := us.unitOf(n.Y)
+				if okx && oky && x != y {
+					report(n.Pos(), n.Op.String()+" expression", x, y)
+				}
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				x, okx := us.unitOf(n.X)
+				y, oky := us.unitOf(n.Y)
+				if okx && oky && x != y {
+					report(n.Pos(), "comparison", x, y)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i := range n.Lhs {
+				x, okx := us.unitOf(n.Lhs[i])
+				y, oky := us.unitOf(n.Rhs[i])
+				if okx && oky && x != y {
+					report(n.Pos(), "assignment", x, y)
+				}
+			}
+		case *ast.KeyValueExpr:
+			key, kok := n.Key.(*ast.Ident)
+			if !kok {
+				break
+			}
+			x, okx := unitOfName(key.Name)
+			y, oky := us.unitOf(n.Value)
+			if okx && oky && x != y {
+				report(n.Pos(), "composite literal field "+key.Name, x, y)
+			}
+		case *ast.ReturnStmt:
+			if !retOK || len(n.Results) != 1 {
+				break
+			}
+			if y, oky := us.unitOf(n.Results[0]); oky && y != retUnit {
+				report(n.Pos(), "return value", retUnit, y)
+			}
+		}
+	}
+	walk = func(n ast.Node, retUnit string, retOK bool) {
+		if n == nil {
+			return
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			u, ok := funcUnit(fn.Name.Name, fn.Type)
+			if fn.Body != nil {
+				walk(fn.Body, u, ok)
+			}
+			return
+		case *ast.FuncLit:
+			u, ok := funcUnit("", fn.Type)
+			walk(fn.Body, u, ok)
+			return
+		}
+		check(n, retUnit, retOK)
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				walk(c, retUnit, retOK)
+				return false
+			}
+			check(c, retUnit, retOK)
+			return true
+		})
+	}
+	eachNonTestFile(pass, func(file *ast.File) {
+		for _, decl := range file.Decls {
+			walk(decl, "", false)
+		}
+	})
+	return nil, nil
+}

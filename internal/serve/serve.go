@@ -164,12 +164,14 @@ type Result struct {
 // Sim is one deterministic serving simulation. Construct with New, drive
 // with Run (or RunUntil + Result), checkpoint with Snapshot/Restore.
 type Sim struct {
-	cfg     Config
-	gcfg    *governor.Config
-	pol     Policy
-	bal     Balancer
-	lambda  []float64 // sanitized per-epoch offered rates
-	stepDur time.Duration
+	// Configuration: fixed at New and never mutated mid-run, so
+	// Snapshot/Restore (which requires "the same Config") skips it.
+	cfg     Config           //ntclint:allow snapshotcheck config: fixed at New
+	gcfg    *governor.Config //ntclint:allow snapshotcheck config: fixed at New
+	pol     Policy           //ntclint:allow snapshotcheck config: stateless policy chosen at New
+	bal     Balancer         //ntclint:allow snapshotcheck config: balancer identity is config; its state rides in balState
+	lambda  []float64        //ntclint:allow snapshotcheck config: sanitized trace rates, rebuilt by New
+	stepDur time.Duration    //ntclint:allow snapshotcheck config: epoch length from the trace
 
 	clusters []*cluster
 	deps     depHeap
@@ -182,6 +184,7 @@ type Sim struct {
 	haveArr  bool
 	epoch    int // index of the epoch in progress; len(lambda) once done
 	decision governor.Decision
+	//ntclint:allow snapshotcheck derived: Restore recomputes it from the snapshotted decision
 	meanSvc  float64 // seconds of service per unit of work at the current frequency
 	lastRate float64 // served throughput of the previous epoch, req/s
 	seq      uint64
@@ -194,16 +197,24 @@ type Sim struct {
 	energyJ                                       float64
 	maxQueue                                      int
 
-	tel       *timeseries.Series // nil when telemetry is off
-	attrib    bool               // compute the per-epoch ledger (telemetry or metrics on)
-	ledger    timeseries.Ledger  // run-total energy attribution
+	// Telemetry sinks are append-only observers: Snapshot's contract
+	// explicitly does not rewind emitted samples or metrics, and the
+	// memo cache only ever re-derives the same coefficients.
+	tel    *timeseries.Series //ntclint:allow snapshotcheck observer: emitted samples are not rewound by contract
+	attrib bool               //ntclint:allow snapshotcheck config: derived from tel/metrics presence at New
+	ledger timeseries.Ledger  // run-total energy attribution
+	//ntclint:allow snapshotcheck cache: memoized pure function of decision, safe to carry across Restore
 	partsMemo map[governor.Decision]partsCoeffs
 
-	loads []ClusterLoad // scratch for balancer calls
-	lanes []int         // tracer lane per cluster
+	loads []ClusterLoad //ntclint:allow snapshotcheck scratch: overwritten before every balancer call
+	lanes []int         //ntclint:allow snapshotcheck config: tracer lane ids assigned at New
 
+	// Metrics are monotone counters shared with the registry; Restore
+	// documents that they are not rewound.
+	//ntclint:allow snapshotcheck observer: monotone registry counters, not rewound by contract
 	mArr, mServed, mDropped, mViol, mBoost *obs.Counter
-	hLat                                   *obs.Histogram
+	//ntclint:allow snapshotcheck observer: registry histogram, not rewound by contract
+	hLat *obs.Histogram
 }
 
 // latencyBucketsMs is the serve.latency_ms histogram layout.

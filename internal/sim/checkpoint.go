@@ -37,6 +37,8 @@ type Checkpoint struct {
 	ClampNs float64
 
 	LLCWriteFills uint64
+	LLCReads      uint64
+	LLCWrites     uint64
 	DramReads     uint64
 	DramWrites    uint64
 }
@@ -50,6 +52,8 @@ func (cl *Cluster) Checkpoint() *Checkpoint {
 		Memory:        cl.mem.sys.State(),
 		ClampNs:       cl.mem.clampNs,
 		LLCWriteFills: cl.llcWriteFills,
+		LLCReads:      cl.llcReads,
+		LLCWrites:     cl.llcWrites,
 		DramReads:     cl.dramReads,
 		DramWrites:    cl.dramWrites,
 	}
@@ -102,6 +106,8 @@ func RestoreCluster(ck *Checkpoint) (*Cluster, error) {
 	}
 	cl.mem.clampNs = ck.ClampNs
 	cl.llcWriteFills = ck.LLCWriteFills
+	cl.llcReads = ck.LLCReads
+	cl.llcWrites = ck.LLCWrites
 	cl.dramReads = ck.DramReads
 	cl.dramWrites = ck.DramWrites
 	return cl, nil

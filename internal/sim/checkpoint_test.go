@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 
 	"ntcsim/internal/workload"
@@ -41,6 +42,47 @@ func TestCheckpointIdenticalContinuation(t *testing.T) {
 		if a.PerCore[i] != b.PerCore[i] {
 			t.Fatalf("core %d stats diverged", i)
 		}
+	}
+}
+
+// TestCheckpointCoversLLCTraffic is the regression test for a real
+// coverage gap the snapshotcheck analyzer surfaced: llcReads and
+// llcWrites were accumulated by Access but never checkpointed, so a
+// restored cluster silently lost its LLC read/write split (latent only
+// because Measure resets stats first). Every accumulated counter must
+// survive the round trip, and re-checkpointing the restored cluster
+// must reproduce the original image exactly.
+func TestCheckpointCoversLLCTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	orig, err := NewCluster(cfg, workload.WebSearch(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.FastForward(100000)
+	orig.Run(20000)
+	if orig.llcReads == 0 || orig.llcWrites == 0 {
+		t.Fatalf("warmup produced no LLC traffic (reads=%d writes=%d); test is vacuous",
+			orig.llcReads, orig.llcWrites)
+	}
+
+	ck := orig.Checkpoint()
+	if ck.LLCReads != orig.llcReads || ck.LLCWrites != orig.llcWrites {
+		t.Fatalf("checkpoint dropped LLC traffic: image %d/%d, live %d/%d",
+			ck.LLCReads, ck.LLCWrites, orig.llcReads, orig.llcWrites)
+	}
+	restored, err := RestoreCluster(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.llcReads != orig.llcReads || restored.llcWrites != orig.llcWrites ||
+		restored.llcWriteFills != orig.llcWriteFills ||
+		restored.dramReads != orig.dramReads || restored.dramWrites != orig.dramWrites {
+		t.Fatalf("restore dropped counters: got reads=%d writes=%d fills=%d dr=%d dw=%d",
+			restored.llcReads, restored.llcWrites, restored.llcWriteFills,
+			restored.dramReads, restored.dramWrites)
+	}
+	if again := restored.Checkpoint(); !reflect.DeepEqual(ck, again) {
+		t.Fatal("re-checkpointing the restored cluster diverged from the original image")
 	}
 }
 

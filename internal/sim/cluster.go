@@ -59,11 +59,15 @@ type Cluster struct {
 	freqHz   float64
 	cores    []*cpu.Core
 	banks    []*cache.Cache
+	//ntclint:allow snapshotcheck derived: rebuilt by NewMixedCluster from cfg
 	llcModel *sram.Model
 	xbar     *uncore.Crossbar
 	mem      *SharedMemory
 
+	// Derived access-path constants, recomputed by NewMixedCluster.
+	//ntclint:allow snapshotcheck derived: recomputed from cfg and freqHz
 	llcLatNs float64
+	//ntclint:allow snapshotcheck derived: recomputed from cfg line size
 	lineBits uint
 
 	llcWriteFills uint64 // LLC misses on L1 writebacks (allocated in place)
