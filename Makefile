@@ -31,6 +31,12 @@
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
 #   make bench-obs     observability overhead benchmarks (metrics
 #                      disabled-path + telemetry sampler), both gated <2%
+#   make bench-json    run the hot-path benchmarks (serve DES steady state
+#                      + cluster access kernel) and write the machine-
+#                      readable perf point to $(BENCH_JSON) (BENCH_9.json)
+#                      via cmd/benchjson. Set BENCH_BASELINE to a prior
+#                      BENCH_*.json to embed it and compute speedups;
+#                      set BENCHTIME=1x for the CI smoke run.
 #   make golden-update regenerate cmd/ntcsim golden files after an
 #                      intentional model change (review the diff!).
 #                      Lint never rewrites sources, so golden outputs
@@ -38,7 +44,13 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test cover fault serve-smoke serve-cover report-smoke race bench bench-sweep bench-obs golden-update
+# bench-json knobs: where the perf point lands, how long each benchmark
+# runs (1x in CI smoke mode), and an optional prior point to diff against.
+BENCH_JSON ?= BENCH_9.json
+BENCHTIME ?= 1s
+BENCH_BASELINE ?=
+
+.PHONY: all build vet lint lint-sarif test cover fault serve-smoke serve-cover report-smoke race bench bench-sweep bench-obs bench-json golden-update
 
 all: build
 
@@ -98,6 +110,13 @@ bench-sweep:
 
 bench-obs:
 	$(GO) test -run xxx -bench BenchmarkObsOverhead .
+
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkServeSteadyState|BenchmarkClusterAccess' \
+		-benchmem -benchtime $(BENCHTIME) . > bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) \
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) bench.out
+	@rm -f bench.out
 
 golden-update:
 	$(GO) test ./cmd/ntcsim -run TestGolden -update

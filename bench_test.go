@@ -513,6 +513,104 @@ func BenchmarkObsOverheadSampler(b *testing.B) {
 	}
 }
 
+// benchServeGov builds the governor configuration the serving-DES
+// benchmarks share: a 4x4 fleet against a five-point performance curve.
+func benchServeGov(b *testing.B, cores int) *governor.Config {
+	b.Helper()
+	spec, err := platform.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	curve, err := governor.NewPerfCurve([]governor.PerfPoint{
+		{FreqHz: 0.2e9, UIPS: 4e9}, {FreqHz: 0.5e9, UIPS: 9e9},
+		{FreqHz: 1.0e9, UIPS: 16e9}, {FreqHz: 1.5e9, UIPS: 21e9},
+		{FreqHz: 2.0e9, UIPS: 25e9},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &governor.Config{
+		Platform:       spec,
+		Curve:          curve,
+		Tail:           qos.NewTailModel(cores, 50*time.Millisecond, 25e9),
+		QoSLimit:       200 * time.Millisecond,
+		UncoreW:        23,
+		MemBackgroundW: 15,
+		MemDynPerReq:   1e-3,
+		Margin:         0.85,
+	}
+}
+
+// BenchmarkServeSteadyState measures the DES event loop's steady-state
+// throughput: a constant-rate day served by a 4x4 fleet with no metrics,
+// tracer or telemetry attached, so the timed region is exactly the event
+// loop (arrival dispatch, heap scheduling, departure completion, epoch
+// close). `events/s` is the headline number the perf trajectory tracks
+// (BENCH_*.json); the alloc gates for this path live in
+// internal/serve/alloc_test.go.
+func BenchmarkServeSteadyState(b *testing.B) {
+	gov := benchServeGov(b, 16)
+	tr := governor.LoadTrace{Step: time.Second, Lambda: make([]float64, 60)}
+	for i := range tr.Lambda {
+		tr.Lambda[i] = 600
+	}
+	for _, bal := range []func() serve.Balancer{serve.NewJSQ, serve.NewRandom} {
+		name := bal().Name()
+		b.Run("balancer="+name, func(b *testing.B) {
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := serve.New(serve.Config{
+					Gov:             gov,
+					Policy:          serve.Tracking{},
+					Balancer:        bal(),
+					Clusters:        4,
+					CoresPerCluster: 4,
+					Trace:           tr,
+				}, rng.New(42))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(context.Background())
+				s.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Served == 0 {
+					b.Fatal("no requests served")
+				}
+				events += res.Arrivals + res.Served + res.Dropped + uint64(len(tr.Lambda))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkClusterAccess measures the full-system memory access kernel —
+// the path every L1 miss takes through bank selection, the crossbar, the
+// LLC bank and (on LLC misses) DRAM — over a deterministic LCG address
+// stream against a warmed cluster. The sweep engine's inner loop is
+// dominated by exactly this path, so its ns/op is the second number the
+// perf trajectory tracks.
+func BenchmarkClusterAccess(b *testing.B) {
+	cl, err := sim.NewCluster(sim.DefaultConfig(), workload.WebSearch(), 2e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.FastForward(400_000)
+	var addr uint64 = 0x5eed
+	nowNs := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr = addr*2862933555777941757 + 3037000493
+		nowNs += 2.0
+		cl.Access(0, addr&((1<<30)-1), i&7 == 0, nowNs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
 // BenchmarkAblationPrefetch measures the stream-prefetcher extension on
 // the streaming workload.
 func BenchmarkAblationPrefetch(b *testing.B) {

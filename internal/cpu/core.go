@@ -200,6 +200,12 @@ type Core struct {
 	cycleAtReset int64 // commit cycle at the last ResetStats
 	stats        Stats
 	instr        workload.Instr
+	// ffInstr is FastForward's decode scratch. It must be a field, not a
+	// local: the instruction source is an interface, so a local's address
+	// escaping through Next would heap-allocate once per warming window.
+	// Kept separate from instr so functional warming never clobbers the
+	// detailed pipeline's in-flight instruction.
+	ffInstr workload.Instr
 }
 
 // New builds a core with its private L1s.
@@ -547,9 +553,9 @@ func (c *Core) Run(cycles int64) uint64 {
 // still traverse the shared hierarchy's tag state via warmAccess). This is
 // the SMARTS "functional warming" mode.
 func (c *Core) FastForward(n uint64, warm WarmMem) {
-	var in workload.Instr
+	in := &c.ffInstr
 	for i := uint64(0); i < n; i++ {
-		c.gen.Next(&in)
+		c.gen.Next(in)
 		iline := in.PC >> c.lineBits
 		if iline != c.lastILine {
 			c.lastILine = iline

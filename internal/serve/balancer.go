@@ -31,6 +31,30 @@ type statefulBalancer interface {
 	setBalancerState(uint64)
 }
 
+// LoadOblivious is the optional capability of a Balancer whose Pick never
+// reads the contents of the loads slice — only its length. The Sim probes
+// it once at construction: for an oblivious balancer (random,
+// round-robin) the per-arrival snapshot of every cluster's load into the
+// slice is elided, removing O(clusters) work from the hottest event. The
+// slice passed to Pick then carries stale values, which is safe exactly
+// because the balancer declared it never looks at them; load-aware
+// balancers (least-loaded, JSQ) do not implement the interface and keep
+// the fresh snapshot bit-identically.
+type LoadOblivious interface {
+	// NeedsLoads reports whether Pick reads the loads slice's elements.
+	NeedsLoads() bool
+}
+
+// needsLoads reports whether b requires a fresh loads snapshot at every
+// Pick. Balancers default to needing it; only an explicit LoadOblivious
+// opt-out elides the per-arrival fill.
+func needsLoads(b Balancer) bool {
+	if lo, ok := b.(LoadOblivious); ok {
+		return lo.NeedsLoads()
+	}
+	return true
+}
+
 // NewRandom returns the uniform random balancer: the no-information
 // baseline every smarter policy is judged against.
 func NewRandom() Balancer { return randomLB{} }
@@ -41,6 +65,10 @@ func (randomLB) Name() string { return "random" }
 func (randomLB) Pick(loads []ClusterLoad, r *rng.Stream) int {
 	return r.Intn(len(loads))
 }
+
+// NeedsLoads implements LoadOblivious: Pick draws uniformly over the
+// slice length and never reads an element.
+func (randomLB) NeedsLoads() bool { return false }
 
 // NewRoundRobin returns the cyclic balancer.
 func NewRoundRobin() Balancer { return &roundRobinLB{} }
@@ -58,6 +86,10 @@ func (b *roundRobinLB) Pick(loads []ClusterLoad, r *rng.Stream) int {
 
 func (b *roundRobinLB) balancerState() uint64     { return uint64(b.next) }
 func (b *roundRobinLB) setBalancerState(v uint64) { b.next = int(v) }
+
+// NeedsLoads implements LoadOblivious: the cursor only wraps on the
+// slice length, elements are never read.
+func (*roundRobinLB) NeedsLoads() bool { return false }
 
 // NewLeastLoaded returns the balancer that picks the cluster with the
 // fewest requests in the system (serving + waiting), ties to the lowest

@@ -30,7 +30,6 @@
 package serve
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -88,11 +87,29 @@ type request struct {
 
 // cluster is one serving cluster: cores in service plus a FIFO ring of
 // waiting requests and the busy-time integral for energy accounting.
+//
+// The busy-time integral is accumulated lazily: busyAcc is only current
+// up to upTo, and settle folds in the busy*elapsed product when the busy
+// count is about to change (or when an epoch closes / a snapshot is
+// taken). Between changes the integrand is constant, and the fold is
+// integer nanosecond arithmetic, so the settled value is bit-identical
+// to eager per-event accumulation — without the O(clusters) walk the
+// event loop used to pay on every clock advance.
 type cluster struct {
 	busy    int
 	queue   []request
 	head    int
-	busyAcc time.Duration // sum over cores of in-service time this epoch
+	busyAcc time.Duration // sum over cores of in-service time this epoch, current up to upTo
+	upTo    time.Duration // clock up to which busyAcc is settled
+}
+
+// settle folds the busy-core time elapsed since the last settle into
+// busyAcc. Idempotent at a fixed now.
+func (c *cluster) settle(now time.Duration) {
+	if dt := now - c.upTo; dt > 0 {
+		c.busyAcc += time.Duration(c.busy) * dt
+	}
+	c.upTo = now
 }
 
 func (c *cluster) qlen() int { return len(c.queue) - c.head }
@@ -119,23 +136,58 @@ type departure struct {
 }
 
 // depHeap is a min-heap of departures ordered by (time, issue sequence).
+// It is a concrete slice heap — push/pop move departure values directly,
+// with no interface boxing, so scheduling a completion costs zero
+// allocations once the backing array has grown to the steady-state
+// in-flight population. The (t, seq) key is unique (seq is a strictly
+// increasing issue counter), so the pop order is fully determined by the
+// keys and independent of the heap's internal layout.
 type depHeap []departure
 
-func (h depHeap) Len() int { return len(h) }
-func (h depHeap) Less(i, j int) bool {
+func (h depHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h depHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *depHeap) Push(x any)   { *h = append(*h, x.(departure)) }
-func (h *depHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// push inserts d and restores the heap invariant (sift-up).
+func (h *depHeap) push(d departure) {
+	*h = append(*h, d)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the minimum element (sift-down).
+func (h *depHeap) popMin() departure {
+	s := *h
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && s.less(r, l) {
+			child = r
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return min
 }
 
 // Result summarizes one serving run.
@@ -206,8 +258,9 @@ type Sim struct {
 	//ntclint:allow snapshotcheck cache: memoized pure function of decision, safe to carry across Restore
 	partsMemo map[governor.Decision]partsCoeffs
 
-	loads []ClusterLoad //ntclint:allow snapshotcheck scratch: overwritten before every balancer call
-	lanes []int         //ntclint:allow snapshotcheck config: tracer lane ids assigned at New
+	loads     []ClusterLoad //ntclint:allow snapshotcheck scratch: overwritten before every balancer call
+	needLoads bool          //ntclint:allow snapshotcheck config: balancer capability probed at New
+	lanes     []int         //ntclint:allow snapshotcheck config: tracer lane ids assigned at New
 
 	// Metrics are monotone counters shared with the registry; Restore
 	// documents that they are not rewound.
@@ -281,6 +334,7 @@ func New(cfg Config, seed *rng.Stream) (*Sim, error) {
 		tel:     cfg.Telemetry,
 		attrib:  cfg.Telemetry != nil || cfg.Metrics != nil,
 	}
+	s.needLoads = needsLoads(cfg.Balancer)
 	s.lambda = make([]float64, len(cfg.Trace.Lambda))
 	for i, lam := range cfg.Trace.Lambda {
 		if math.IsNaN(lam) || lam < 0 {
@@ -347,16 +401,13 @@ func (s *Sim) decide() {
 	s.meanSvc = s.gcfg.Tail.MeanService(s.gcfg.Curve.UIPSAt(d.FreqHz)).Seconds()
 }
 
-// advanceTo moves the simulation clock, integrating busy core-time.
+// advanceTo moves the simulation clock. Busy core-time is NOT integrated
+// here: each cluster settles its own integral lazily when its busy count
+// changes (see cluster.settle), so advancing the clock is O(1).
 func (s *Sim) advanceTo(t time.Duration) {
-	dt := t - s.now
-	if dt <= 0 {
-		return
+	if t > s.now {
+		s.now = t
 	}
-	for _, c := range s.clusters {
-		c.busyAcc += time.Duration(c.busy) * dt
-	}
-	s.now = t
 }
 
 // startService puts req on a core of cluster cl and schedules its
@@ -364,21 +415,24 @@ func (s *Sim) advanceTo(t time.Duration) {
 // 1ns floor keeps completions strictly after dispatch.
 func (s *Sim) startService(cl int, req request) {
 	c := s.clusters[cl]
+	c.settle(s.now)
 	c.busy++
 	d := time.Duration(req.work * s.meanSvc * 1e9)
 	if d < 1 {
 		d = 1
 	}
 	s.seq++
-	heap.Push(&s.deps, departure{t: s.now + d, seq: s.seq, cluster: cl, arrive: req.arrive})
+	s.deps.push(departure{t: s.now + d, seq: s.seq, cluster: cl, arrive: req.arrive})
 }
 
 // processArrival dispatches the arrival at the current clock.
 func (s *Sim) processArrival() {
 	s.arrivals++
 	s.mArr.Add(1)
-	for i, c := range s.clusters {
-		s.loads[i] = ClusterLoad{Busy: c.busy, Queued: c.qlen()}
+	if s.needLoads {
+		for i, c := range s.clusters {
+			s.loads[i] = ClusterLoad{Busy: c.busy, Queued: c.qlen()}
+		}
 	}
 	idx := s.bal.Pick(s.loads, s.lbRand)
 	if idx < 0 || idx >= len(s.clusters) {
@@ -403,8 +457,9 @@ func (s *Sim) processArrival() {
 
 // processDeparture completes the earliest scheduled service.
 func (s *Sim) processDeparture() {
-	dep := heap.Pop(&s.deps).(departure)
+	dep := s.deps.popMin()
 	c := s.clusters[dep.cluster]
+	c.settle(s.now)
 	c.busy--
 	s.served++
 	s.servedEpoch++
@@ -458,6 +513,7 @@ func (s *Sim) finishEpoch() error {
 		dynFull, leakIdle, leakSlope, vdd = co.dynFull, co.leakIdle, co.leakSlope, co.vdd
 	}
 	for i, c := range s.clusters {
+		c.settle(s.now)
 		busyFrac := float64(c.busyAcc) / denom
 		if busyFrac > 1 {
 			busyFrac = 1

@@ -17,6 +17,12 @@ const (
 	sketchUnit  = time.Microsecond
 )
 
+// sketchInvLogGamma is 1/ln(gamma), hoisted out of bucketOf so the per-
+// observation cost is one Log, one multiply and one Ceil instead of two
+// transcendental calls. Computed once at package init; bucket assignment
+// is pinned against the pre-hoist division form by TestBucketLadder.
+var sketchInvLogGamma = 1 / math.Log(sketchGamma)
+
 // Sketch is a streaming quantile estimator over request latencies in the
 // DDSketch style: logarithmically spaced buckets with a guaranteed
 // RELATIVE error bound, so p50 of a 2ms workload and p99.9 of a 2s
@@ -39,7 +45,18 @@ func bucketOf(d time.Duration) int {
 		return 0
 	}
 	v := float64(d) / float64(sketchUnit)
-	return int(math.Ceil(math.Log(v) / math.Log(sketchGamma)))
+	return int(math.Ceil(math.Log(v) * sketchInvLogGamma))
+}
+
+// bucketValue returns the representative latency of bucket i: the log-
+// midpoint 2*gamma^i/(1+gamma) scaled by the unit (the unit itself for
+// bucket 0), matching the estimator Quantile always used.
+func bucketValue(i int) time.Duration {
+	if i == 0 {
+		return sketchUnit
+	}
+	mid := 2 * math.Pow(sketchGamma, float64(i)) / (1 + sketchGamma)
+	return time.Duration(mid * float64(sketchUnit))
 }
 
 // Observe records one latency.
@@ -75,17 +92,26 @@ func (s *Sketch) Quantile(q float64) time.Duration {
 	if rank < 1 {
 		rank = 1
 	}
+	// float64(total) is inexact above 2^53, so ceil(q*total) can land
+	// ABOVE total (e.g. q=1 with total=2^53+3 rounds up) and no cumulative
+	// count would ever reach it. Clamp the rank into the population.
+	if rank > s.total {
+		rank = s.total
+	}
 	var cum uint64
 	for i, c := range s.counts {
 		cum += c
 		if cum >= rank {
-			if i == 0 {
-				return sketchUnit
-			}
-			mid := 2 * math.Pow(sketchGamma, float64(i)) / (1 + sketchGamma)
-			return time.Duration(mid * float64(sketchUnit))
+			return bucketValue(i)
 		}
 	}
-	// Unreachable: cum == total >= rank by construction.
+	// Defensive fallback: the clamp above makes the scan find a bucket
+	// (cum reaches total >= rank), but if the invariants are ever broken
+	// report the last non-empty bucket instead of a silent zero.
+	for i := len(s.counts) - 1; i >= 0; i-- {
+		if s.counts[i] != 0 {
+			return bucketValue(i)
+		}
+	}
 	return 0
 }

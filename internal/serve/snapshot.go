@@ -100,6 +100,11 @@ func (s *Sim) Snapshot() *Snapshot {
 	}
 	snap.clusters = make([]clusterSnap, len(s.clusters))
 	for i, c := range s.clusters {
+		// Fold the lazily accumulated busy-time up to the current clock
+		// so the image carries the settled integral; settling is integer
+		// arithmetic on state the snapshot captures anyway, so it does
+		// not perturb the run (and is idempotent at a fixed clock).
+		c.settle(s.now)
 		snap.clusters[i] = clusterSnap{
 			busy:    c.busy,
 			busyAcc: c.busyAcc,
@@ -136,6 +141,7 @@ func (s *Sim) Restore(snap *Snapshot) {
 		c := s.clusters[i]
 		c.busy = cs.busy
 		c.busyAcc = cs.busyAcc
+		c.upTo = snap.now // the snapshotted integral was settled at the snapshot clock
 		c.queue = append(c.queue[:0], cs.queue...)
 		c.head = 0
 	}

@@ -69,6 +69,19 @@ type Cluster struct {
 	llcLatNs float64
 	//ntclint:allow snapshotcheck derived: recomputed from cfg line size
 	lineBits uint
+	// Bank selection as mask/shift (LLCBanks is a validated power of
+	// two), so the per-access bankOf/unbank path has no integer divides.
+	//ntclint:allow snapshotcheck derived: recomputed from cfg bank count
+	bankMask uint64
+	//ntclint:allow snapshotcheck derived: recomputed from cfg bank count
+	bankShift uint
+
+	// Reusable scratch for Run/FastForward so repeated measurement and
+	// warming windows allocate nothing after the first call.
+	//ntclint:allow snapshotcheck scratch: overwritten at the start of every Run
+	runTargets []int64
+	//ntclint:allow snapshotcheck scratch: overwritten at the start of every FastForward
+	ffRemaining []uint64
 
 	llcWriteFills uint64 // LLC misses on L1 writebacks (allocated in place)
 	llcReads      uint64 // demand reads received by the LLC
@@ -136,6 +149,10 @@ func newCluster(cfg Config, profiles []*workload.Profile, freqHz float64, mem *S
 	for l := cfg.Core.LineBytes; l > 1; l >>= 1 {
 		cl.lineBits++
 	}
+	cl.bankMask = uint64(cfg.LLCBanks - 1)
+	for n := cfg.LLCBanks; n > 1; n >>= 1 {
+		cl.bankShift++
+	}
 	// The cluster LLC is split into banks; each bank holds an equal share.
 	bankCfg := cache.Config{
 		SizeBytes: cfg.LLC.CapacityBytes / cfg.LLCBanks,
@@ -200,18 +217,18 @@ func (cl *Cluster) Reseed(seed *rng.Stream) {
 
 // bankOf selects the LLC bank for a line address and returns the
 // bank-local address (bank-selection bits stripped, so the bank's full set
-// index space is used).
+// index space is used). Bank count is a power of two, so selection is a
+// mask and the divide a shift — exact integer equivalents.
 func (cl *Cluster) bankOf(addr uint64) (bank int, bankAddr uint64) {
 	line := addr >> cl.lineBits
-	n := uint64(len(cl.banks))
-	return int(line % n), (line / n) << cl.lineBits
+	return int(line & cl.bankMask), (line >> cl.bankShift) << cl.lineBits
 }
 
 // unbank reconstructs the original address from a bank-local one (used for
 // LLC victim writebacks).
 func (cl *Cluster) unbank(bank int, bankAddr uint64) uint64 {
 	line := bankAddr >> cl.lineBits
-	return (line*uint64(len(cl.banks)) + uint64(bank)) << cl.lineBits
+	return (line<<cl.bankShift | uint64(bank)) << cl.lineBits
 }
 
 // Access implements cpu.MemSystem: a demand request (write=false) or a
@@ -223,7 +240,14 @@ func (cl *Cluster) Access(coreID int, addr uint64, write bool, nowNs float64) fl
 		cl.llcReads++
 	}
 	bank, bankAddr := cl.bankOf(addr)
-	arrive := cl.xbar.Request(bank, math.Max(nowNs, 0))
+	// Inline clamp instead of math.Max: identical for every input the
+	// cores produce (non-negative or NaN-free timestamps), and the call
+	// disappears from the per-miss path.
+	t := nowNs
+	if t < 0 {
+		t = 0
+	}
+	arrive := cl.xbar.Request(bank, t)
 	ready := arrive + cl.llcLatNs
 
 	res := cl.banks[bank].Access(bankAddr, write)
@@ -260,7 +284,10 @@ func (cl *Cluster) Warm(coreID int, addr uint64, write bool) {
 func (cl *Cluster) FastForward(nPerCore uint64) {
 	// Interleave in chunks so the shared LLC sees a realistic mix.
 	const chunk = 8192
-	remaining := make([]uint64, len(cl.cores))
+	if cl.ffRemaining == nil {
+		cl.ffRemaining = make([]uint64, len(cl.cores))
+	}
+	remaining := cl.ffRemaining
 	for i := range remaining {
 		remaining[i] = nPerCore
 	}
@@ -288,7 +315,10 @@ func (cl *Cluster) FastForward(nPerCore uint64) {
 // instruction-by-instruction so shared-resource contention is honored: the
 // core with the smallest local clock always steps next.
 func (cl *Cluster) Run(cycles int64) {
-	targets := make([]int64, len(cl.cores))
+	if cl.runTargets == nil {
+		cl.runTargets = make([]int64, len(cl.cores))
+	}
+	targets := cl.runTargets
 	for i, c := range cl.cores {
 		targets[i] = c.Cycle() + cycles
 	}

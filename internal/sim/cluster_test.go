@@ -258,3 +258,85 @@ func BenchmarkClusterFastForward(b *testing.B) {
 	b.ResetTimer()
 	cl.FastForward(uint64(b.N))
 }
+
+// TestAccessPathAllocs is the optimization contract for the memory access
+// kernel: once the cluster is warm, a demand read, an L1 writeback, and
+// the DRAM fill path behind them perform zero heap allocations per
+// access. This is the path every simulated L1 miss takes, so an
+// allocation here multiplies across the billions of events of a sweep.
+func TestAccessPathAllocs(t *testing.T) {
+	cl := newTestCluster(t, workload.WebSearch(), 2e9)
+	cl.FastForward(100_000)
+	var addr uint64 = 0x5eed
+	nowNs := 1.0
+	i := 0
+	allocs := testing.AllocsPerRun(20_000, func() {
+		addr = addr*2862933555777941757 + 3037000493
+		nowNs += 2.0
+		cl.Access(0, addr&((1<<30)-1), i&7 == 0, nowNs)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Cluster.Access allocates %.4f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFastForwardSteadyStateAllocs gates the functional-warming kernel:
+// after the first call has sized the interleave scratch, further
+// fast-forward windows allocate nothing.
+func TestFastForwardSteadyStateAllocs(t *testing.T) {
+	cl := newTestCluster(t, workload.WebSearch(), 2e9)
+	cl.FastForward(10_000) // first call sizes the scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		cl.FastForward(2_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("Cluster.FastForward allocates %.4f allocs/window, want 0", allocs)
+	}
+}
+
+// TestRunSteadyStateAllocs gates the detailed-simulation driver the same
+// way: repeated measurement windows reuse the per-core target scratch.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	cl := newTestCluster(t, workload.WebSearch(), 2e9)
+	cl.FastForward(50_000)
+	cl.Run(1_000) // first call sizes the scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		cl.Run(500)
+	})
+	if allocs != 0 {
+		t.Fatalf("Cluster.Run allocates %.4f allocs/window, want 0", allocs)
+	}
+}
+
+// TestBankSelectionMaskEquivalence pins the mask/shift bank selection
+// against the modulo/divide arithmetic it replaced, across bank counts
+// and a dense address sample, including round-tripping through unbank.
+func TestBankSelectionMaskEquivalence(t *testing.T) {
+	for _, banks := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.LLCBanks = banks
+		cfg.LLC.CapacityBytes = 4 << 20
+		cl, err := NewCluster(cfg, workload.WebSearch(), 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var addr uint64 = 1
+		for i := 0; i < 50_000; i++ {
+			addr = addr*2862933555777941757 + 3037000493
+			a := addr & ((1 << 40) - 1)
+			gotBank, gotLocal := cl.bankOf(a)
+			line := a >> cl.lineBits
+			n := uint64(banks)
+			wantBank, wantLocal := int(line%n), (line/n)<<cl.lineBits
+			if gotBank != wantBank || gotLocal != wantLocal {
+				t.Fatalf("banks=%d addr=%#x: bankOf = (%d, %#x), want (%d, %#x)",
+					banks, a, gotBank, gotLocal, wantBank, wantLocal)
+			}
+			lineAddr := (a >> cl.lineBits) << cl.lineBits
+			if rt := cl.unbank(gotBank, gotLocal); rt != lineAddr {
+				t.Fatalf("banks=%d addr=%#x: unbank round-trip = %#x, want %#x", banks, a, rt, lineAddr)
+			}
+		}
+	}
+}
