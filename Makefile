@@ -26,6 +26,11 @@
 #   make report-smoke  telemetry pipeline in short mode: conservation
 #                      audit, across-jobs CSV/counter determinism, the
 #                      ntcsim report golden
+#   make daemon-smoke  end-to-end ntcsimd check: boot the daemon, run the
+#                      golden fig2 job over HTTP with SSE progress,
+#                      require the report byte-identical to the CLI
+#                      golden, require the resubmission to be a cache
+#                      hit, and require SIGTERM to drain cleanly
 #   make race          race-detector pass over every package
 #   make bench         full benchmark suite (regenerates the paper's numbers)
 #   make bench-sweep   parallel-vs-serial sweep engine benchmarks only
@@ -50,7 +55,7 @@ BENCH_JSON ?= BENCH_9.json
 BENCHTIME ?= 1s
 BENCH_BASELINE ?=
 
-.PHONY: all build vet lint lint-sarif test cover fault serve-smoke serve-cover report-smoke race bench bench-sweep bench-obs bench-json golden-update
+.PHONY: all build vet lint lint-sarif test cover fault serve-smoke serve-cover report-smoke daemon-smoke race bench bench-sweep bench-obs bench-json golden-update
 
 all: build
 
@@ -98,6 +103,9 @@ serve-cover:
 report-smoke:
 	$(GO) test -short ./internal/obs/timeseries
 	$(GO) test -short -run 'TestTelemetry|TestReportGolden|TestRunTelemetry|TestEnergyGauges|TestCorePowerParts|TestSharedPowerParts' ./cmd/ntcsim ./internal/serve ./internal/governor
+
+daemon-smoke:
+	bash scripts/daemon_smoke.sh
 
 race:
 	$(GO) test -race ./...

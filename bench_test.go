@@ -89,7 +89,7 @@ func BenchmarkFig2QoS(b *testing.B) {
 	var minMHz float64
 	for i := 0; i < b.N; i++ {
 		e := benchExplorer(b)
-		sw, err := e.Sweep(workload.WebSearch(), benchFreqs)
+		sw, err := e.Sweep(context.Background(), workload.WebSearch(), benchFreqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func BenchmarkFig3ScaleOutEfficiency(b *testing.B) {
 	var o core.Optima
 	for i := 0; i < b.N; i++ {
 		e := benchExplorer(b)
-		sw, err := e.Sweep(workload.WebSearch(), benchFreqs)
+		sw, err := e.Sweep(context.Background(), workload.WebSearch(), benchFreqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func BenchmarkFig4VMEfficiency(b *testing.B) {
 	var f2x, f4x float64
 	for i := 0; i < b.N; i++ {
 		e := benchExplorer(b)
-		sw, err := e.Sweep(workload.VMHighMem(), benchFreqs)
+		sw, err := e.Sweep(context.Background(), workload.VMHighMem(), benchFreqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkOptimalPoints(b *testing.B) {
 	var o core.Optima
 	for i := 0; i < b.N; i++ {
 		e := benchExplorer(b)
-		sw, err := e.Sweep(workload.VMLowMem(), benchFreqs)
+		sw, err := e.Sweep(context.Background(), workload.VMLowMem(), benchFreqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,11 +191,11 @@ func BenchmarkAblationLPDDR4(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		e := benchExplorer(b)
-		ddr4, err := e.Sweep(workload.MediaStreaming(), freqs)
+		ddr4, err := e.Sweep(context.Background(), workload.MediaStreaming(), freqs)
 		if err != nil {
 			b.Fatal(err)
 		}
-		lp, err := e.LPDDR4Explorer().Sweep(workload.MediaStreaming(), freqs)
+		lp, err := e.LPDDR4Explorer().Sweep(context.Background(), workload.MediaStreaming(), freqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +212,7 @@ func BenchmarkAblationClusterSize(b *testing.B) {
 	var ratio4, ratio8 float64
 	for i := 0; i < b.N; i++ {
 		e4 := benchExplorer(b)
-		s4, err := e4.Sweep(workload.WebSearch(), freqs)
+		s4, err := e4.Sweep(context.Background(), workload.WebSearch(), freqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func BenchmarkAblationClusterSize(b *testing.B) {
 		e8.Sim.LLC.CapacityBytes = 8 << 20
 		e8.Platform.Clusters = 4
 		e8.Platform.CoresPerCl = 8
-		s8, err := e8.Sweep(workload.WebSearch(), freqs)
+		s8, err := e8.Sweep(context.Background(), workload.WebSearch(), freqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -350,7 +350,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := benchExplorer(b)
 				e.Jobs = jobs
-				sw, err := e.Sweep(workload.WebSearch(), grid)
+				sw, err := e.Sweep(context.Background(), workload.WebSearch(), grid)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -372,7 +372,7 @@ func BenchmarkSweepManyParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := benchExplorer(b)
 				e.Jobs = jobs
-				if _, err := e.SweepMany(workload.All(), grid); err != nil {
+				if _, err := e.SweepMany(context.Background(), workload.All(), grid); err != nil {
 					b.Fatal(err)
 				}
 			}

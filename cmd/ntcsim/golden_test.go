@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -9,7 +10,8 @@ import (
 	"testing"
 
 	"ntcsim/internal/core"
-	"ntcsim/internal/workload"
+	"ntcsim/internal/experiments"
+	"ntcsim/internal/obs"
 )
 
 // update regenerates the golden files instead of comparing against them:
@@ -33,6 +35,24 @@ func goldenExplorer() (*core.Explorer, error) {
 	return e, nil
 }
 
+// goldenParams is the experiments-API spelling of goldenExplorer: the
+// same pinned knobs expressed as Params, so the registry-dispatched
+// goldens and the daemon smoke test reproduce the identical bytes.
+var goldenParams = experiments.Params{Seed: 0x5eed, WarmInstr: 200_000, SettleCycles: 10_000}
+
+// runExperiment dispatches one registered experiment through the uniform
+// API and returns its report text.
+func runExperiment(t *testing.T, name string, p experiments.Params) string {
+	t.Helper()
+	var buf bytes.Buffer
+	_, err := experiments.Run(context.Background(), name, p,
+		experiments.Env{Out: obs.NewSyncWriter(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
 // TestGolden snapshots the figure/table TSV reports. Any change to the
 // workload generators, core model, caches, DRAM, power models, QoS logic or
 // the sweep engine shows up as a diff here; regenerate intentionally with
@@ -41,27 +61,12 @@ func TestGolden(t *testing.T) {
 	if testing.Short() || raceEnabled {
 		t.Skip("golden regeneration is minutes of simulation; skipped in -short and -race runs")
 	}
-	ctx := context.Background()
-	cases := []struct {
-		name string
-		run  func() error
-	}{
-		{"fig1", cmdFig1},
-		{"table1", cmdTable1},
-		{"fig2", func() error { return cmdFig2(ctx, goldenExplorer) }},
-		{"fig3", func() error {
-			return cmdEfficiency(ctx, goldenExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
-		}},
-		{"fig4", func() error {
-			return cmdEfficiency(ctx, goldenExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
-		}},
-		{"opt", func() error { return cmdOpt(ctx, goldenExplorer) }},
-		{"serve", func() error { return cmdServe(ctx, goldenExplorer, 0x5eed, nil) }},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			got := capture(t, tc.run)
-			path := filepath.Join("testdata", "golden", tc.name+".golden")
+	cases := []string{"fig1", "table1", "fig2", "fig3", "fig4", "opt", "serve"}
+	for _, name := range cases {
+		tc := name
+		t.Run(tc, func(t *testing.T) {
+			got := runExperiment(t, tc, goldenParams)
+			path := filepath.Join("testdata", "golden", tc+".golden")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
@@ -77,7 +82,7 @@ func TestGolden(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Fatalf("%s output drifted from %s.\nIf the change is intentional, regenerate with -update and review the diff.\n%s",
-					tc.name, path, diffHint(string(want), got))
+					tc, path, diffHint(string(want), got))
 			}
 		})
 	}

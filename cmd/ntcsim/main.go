@@ -11,8 +11,12 @@
 //	ntcsim serve    closed-loop request-serving DES: balancers x governor policies
 //	ntcsim all      everything above
 //
-// By default the reduced-cost sampling configuration is used; pass
-// -fidelity=paper for the full SMARTS windows (much slower).
+// Every experiment is dispatched through the internal/experiments
+// registry — the same uniform API the ntcsimd daemon serves over HTTP —
+// so this command is a thin frontend: flags become experiments.Params
+// and experiments.Env, nothing more. By default the reduced-cost
+// sampling configuration is used; pass -fidelity=paper for the full
+// SMARTS windows (much slower).
 package main
 
 import (
@@ -24,15 +28,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"text/tabwriter"
 	"time"
 
-	"ntcsim/internal/core"
+	"ntcsim/internal/experiments"
 	"ntcsim/internal/obs"
 	"ntcsim/internal/obs/timeseries"
-	"ntcsim/internal/parallel"
-	"ntcsim/internal/qos"
-	"ntcsim/internal/workload"
 )
 
 func main() {
@@ -43,16 +43,19 @@ func main() {
 }
 
 // run parses flags, installs the SIGINT/SIGTERM context and dispatches
-// the command. On interruption the sweep engine stops at the next point
-// boundary; run still flushes the trace and metrics files (so a
-// cancelled campaign leaves valid partial observability output, never a
-// torn JSON document) and reports how many sweep points completed.
+// the command through the experiments registry. On interruption the
+// sweep engine stops at the next point boundary; run still flushes the
+// trace and metrics files (so a cancelled campaign leaves valid partial
+// observability output, never a torn JSON document) and reports how many
+// sweep points completed.
 func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fs := flag.NewFlagSet("ntcsim", flag.ContinueOnError)
 	fidelity := fs.String("fidelity", "quick", "sampling fidelity: quick or paper")
-	seed := fs.Uint64("seed", 0x5eed, "simulation seed")
+	seed := fs.Uint64("seed", experiments.DefaultSeed, "simulation seed")
+	warm := fs.Uint64("warm", 0, "override the per-core functional warmup instruction count (0 = fidelity default)")
+	settle := fs.Int64("settle", 0, "override the post-DVFS settle window in cycles (0 = fidelity default)")
 	ckptDir := fs.String("ckptdir", "", "directory for warmed-cluster checkpoints (reused across runs)")
 	outPath := fs.String("out", "", "also write all output to this file")
 	jobs := fs.Int("jobs", 0, "max concurrent sweep evaluations; 0 = all CPUs (output is identical for any value)")
@@ -75,7 +78,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing command (fig1|table1|fig2|fig3|fig4|opt|ablation|variation|darksilicon|governor|serve|interference|scaling|workloads|prefetch|ports|hetero|warm|all)")
+		return fmt.Errorf("missing command (report|%s)", names())
 	}
 
 	var registry *obs.Registry
@@ -109,118 +112,49 @@ func run(args []string) error {
 		}
 	}
 
-	newExplorer := func() (*core.Explorer, error) {
-		e, err := core.NewExplorer()
-		if err != nil {
-			return nil, err
-		}
-		e.Sim.Seed = *seed
-		e.CheckpointDir = *ckptDir
-		e.Jobs = *jobs
-		e.Obs = registry
-		e.Tracer = tracer
-		e.Progress = prog
-		e.Telemetry = sampler
+	// The CLI's flags are exactly the experiment API's inputs: Params
+	// (the simulation inputs keyed into the daemon's result cache) and
+	// Env (the seams — writers, budgets, observability).
+	params := experiments.Params{
+		Fidelity:     *fidelity,
+		Seed:         *seed,
+		WarmInstr:    *warm,
+		SettleCycles: *settle,
+	}
+	env := experiments.Env{
+		Out:           out,
+		Jobs:          *jobs,
+		CheckpointDir: *ckptDir,
+		Obs:           registry,
+		Tracer:        tracer,
+		Progress:      prog,
+		Telemetry:     sampler,
 		// Recovered checkpoint faults (quarantined corruption, failed
 		// saves) are surfaced on stderr; they affect speed, not results.
-		e.Warnf = func(format string, a ...any) {
+		Warnf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "ntcsim: "+format+"\n", a...)
-		}
-		switch *fidelity {
-		case "quick":
-		case "paper":
-			e.PaperFidelity()
-		default:
-			return nil, fmt.Errorf("unknown fidelity %q", *fidelity)
-		}
-		return e, nil
+		},
 	}
 
 	cmd := fs.Arg(0)
 	var cmdFn func(ctx context.Context) error
-	switch cmd {
-	case "fig1":
-		cmdFn = func(context.Context) error { return cmdFig1() }
-	case "table1":
-		cmdFn = func(context.Context) error { return cmdTable1() }
-	case "fig2":
-		cmdFn = func(ctx context.Context) error { return cmdFig2(ctx, newExplorer) }
-	case "fig3":
-		cmdFn = func(ctx context.Context) error {
-			return cmdEfficiency(ctx, newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
-		}
-	case "fig4":
-		cmdFn = func(ctx context.Context) error {
-			return cmdEfficiency(ctx, newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
-		}
-	case "opt":
-		cmdFn = func(ctx context.Context) error { return cmdOpt(ctx, newExplorer) }
-	case "ablation":
-		cmdFn = func(ctx context.Context) error { return cmdAblation(ctx, newExplorer) }
-	case "variation":
-		cmdFn = func(context.Context) error { return cmdVariation(*seed) }
-	case "darksilicon":
-		cmdFn = func(context.Context) error { return cmdDarkSilicon(newExplorer) }
-	case "governor":
-		cmdFn = func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed, sampler) }
-	case "serve":
-		cmdFn = func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed, sampler) }
-	case "report":
+	switch {
+	case cmd == "report":
+		// report renders an existing telemetry CSV; it is frontend
+		// functionality (no simulation), so it stays outside the registry.
 		if fs.NArg() < 2 {
 			return fmt.Errorf("report: usage: ntcsim report <telemetry.csv> (a file written by -telemetry)")
 		}
 		csvPath := fs.Arg(1)
 		cmdFn = func(context.Context) error { return cmdReport(csvPath) }
-	case "interference":
-		cmdFn = func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) }
-	case "scaling":
-		cmdFn = func(ctx context.Context) error { return cmdScaling(ctx, newExplorer) }
-	case "workloads":
-		cmdFn = func(ctx context.Context) error { return cmdWorkloads(ctx, newExplorer) }
-	case "prefetch":
-		cmdFn = func(ctx context.Context) error { return cmdPrefetch(ctx, newExplorer) }
-	case "ports":
-		cmdFn = func(ctx context.Context) error { return cmdPorts(ctx, newExplorer) }
-	case "hetero":
-		cmdFn = func(ctx context.Context) error { return cmdHetero(ctx, newExplorer) }
-	case "warm":
-		cmdFn = func(ctx context.Context) error { return cmdWarm(ctx, newExplorer, *ckptDir) }
-	case "all":
-		cmdFn = func(ctx context.Context) error {
-			for _, f := range []func(ctx context.Context) error{
-				func(context.Context) error { return cmdFig1() },
-				func(context.Context) error { return cmdTable1() },
-				func(ctx context.Context) error { return cmdFig2(ctx, newExplorer) },
-				func(ctx context.Context) error {
-					return cmdEfficiency(ctx, newExplorer, workload.ScaleOutProfiles(), "Figure 3 (scale-out workloads)")
-				},
-				func(ctx context.Context) error {
-					return cmdEfficiency(ctx, newExplorer, workload.VMProfiles(), "Figure 4 (virtualized workloads)")
-				},
-				func(ctx context.Context) error { return cmdOpt(ctx, newExplorer) },
-				func(ctx context.Context) error { return cmdAblation(ctx, newExplorer) },
-				func(context.Context) error { return cmdVariation(*seed) },
-				func(context.Context) error { return cmdDarkSilicon(newExplorer) },
-				func(ctx context.Context) error { return cmdGovernor(ctx, newExplorer, *seed, sampler) },
-				func(ctx context.Context) error { return cmdServe(ctx, newExplorer, *seed, sampler) },
-				func(ctx context.Context) error { return cmdInterference(ctx, newExplorer) },
-				func(ctx context.Context) error { return cmdScaling(ctx, newExplorer) },
-				func(ctx context.Context) error { return cmdWorkloads(ctx, newExplorer) },
-				func(ctx context.Context) error { return cmdPrefetch(ctx, newExplorer) },
-				func(ctx context.Context) error { return cmdPorts(ctx, newExplorer) },
-				func(ctx context.Context) error { return cmdHetero(ctx, newExplorer) },
-			} {
-				if err := ctx.Err(); err != nil {
-					return context.Cause(ctx)
-				}
-				if err := f(ctx); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		if _, ok := experiments.Lookup(cmd); !ok {
+			return fmt.Errorf("unknown command %q (report|%s)", cmd, names())
+		}
+		cmdFn = func(ctx context.Context) error {
+			_, err := experiments.Run(ctx, cmd, params, env)
+			return err
+		}
 	}
 
 	// The whole command runs inside one top-level trace span (lane 0), so
@@ -273,6 +207,18 @@ func run(args []string) error {
 	return cmdErr
 }
 
+// names renders the registered experiment names for usage messages.
+func names() string {
+	s := ""
+	for i, n := range experiments.Names() {
+		if i > 0 {
+			s += "|"
+		}
+		s += n
+	}
+	return s
+}
+
 // writeMetrics writes the registry snapshot to path. The JSON key order
 // is deterministic, so counter-class sections diff cleanly across runs.
 func writeMetrics(path string, r *obs.Registry) error {
@@ -303,251 +249,8 @@ func writeTelemetry(path string, s *timeseries.Sampler) error {
 }
 
 // out is the destination of every report; -out tees it into a file. All
-// drivers — including those that fan work across goroutines — must write
-// through it, and it is wrapped in an ordered writer so concurrent writes
-// can never interleave mid-line (see TestOutWriterNoInterleave).
+// experiment drivers — including those that fan work across goroutines —
+// write through it via experiments.Env.Out, and it is wrapped in an
+// ordered writer so concurrent writes can never interleave mid-line (see
+// TestOutWriterNoInterleave).
 var out io.Writer = obs.NewSyncWriter(os.Stdout)
-
-func table() *tabwriter.Writer {
-	return tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-}
-
-func cmdFig1() error {
-	fmt.Fprintln(out, "== Figure 1: A57 voltage and chip power vs frequency (36 cores) ==")
-	curves := core.Fig1Curves(36, core.Fig1Frequencies())
-	w := table()
-	fmt.Fprint(w, "freq_MHz")
-	for _, c := range curves {
-		fmt.Fprintf(w, "\t%s_Vdd\t%s_W", c.Label, c.Label)
-	}
-	fmt.Fprintln(w)
-	for i := range curves[0].Points {
-		fmt.Fprintf(w, "%.0f", curves[0].Points[i].FreqHz/1e6)
-		for _, c := range curves {
-			p := c.Points[i]
-			if p.Reachable {
-				fmt.Fprintf(w, "\t%.3f\t%.2f", p.Vdd, p.ChipPowerW)
-			} else {
-				fmt.Fprint(w, "\t-\t-")
-			}
-		}
-		fmt.Fprintln(w)
-	}
-	return w.Flush()
-}
-
-func cmdTable1() error {
-	fmt.Fprintln(out, "== Table I: power of an 8x 4Gbit DDR4 chip at 1.6GHz ==")
-	e := core.TableI()
-	w := table()
-	fmt.Fprintln(w, "E_IDLE [nJ/cycle]\tE_READ [nJ/byte]\tE_WRITE [nJ/byte]")
-	fmt.Fprintf(w, "%.4f\t%.4f\t%.4f\n", e.IdlePerCycleNJ, e.ReadPerByteNJ, e.WritePerByteNJ)
-	return w.Flush()
-}
-
-func cmdFig2(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
-	fmt.Fprintln(out, "== Figure 2: 99th-percentile latency normalized to QoS vs core frequency ==")
-	freqs := core.DefaultFrequencies()
-	e, err := newExplorer()
-	if err != nil {
-		return err
-	}
-	sweeps, err := e.SweepManyContext(ctx, workload.ScaleOutProfiles(), freqs)
-	if err != nil {
-		return err
-	}
-	w := table()
-	fmt.Fprint(w, "freq_MHz")
-	for _, sw := range sweeps {
-		fmt.Fprintf(w, "\t%s", sw.Workload.Name)
-	}
-	fmt.Fprintln(w, "\tQoS_limit")
-	for i, f := range freqs {
-		fmt.Fprintf(w, "%.0f", f/1e6)
-		for _, sw := range sweeps {
-			fmt.Fprintf(w, "\t%.3f", sw.Points[i].Metric)
-		}
-		fmt.Fprintln(w, "\t1.000")
-	}
-	return w.Flush()
-}
-
-func cmdEfficiency(ctx context.Context, newExplorer func() (*core.Explorer, error), profiles []*workload.Profile, title string) error {
-	fmt.Fprintln(out, "==", title, "==")
-	freqs := core.DefaultFrequencies()
-	e, err := newExplorer()
-	if err != nil {
-		return err
-	}
-	sweeps, err := e.SweepManyContext(ctx, profiles, freqs)
-	if err != nil {
-		return err
-	}
-	scopes := []struct {
-		name string
-		get  func(core.Point) float64
-	}{
-		{"(a) cores", func(p core.Point) float64 { return p.EffCores }},
-		{"(b) SoC", func(p core.Point) float64 { return p.EffSoC }},
-		{"(c) server", func(p core.Point) float64 { return p.EffServer }},
-	}
-	for _, sc := range scopes {
-		get := sc.get
-		fmt.Fprintf(out, "-- %s efficiency, GUIPS/W --\n", sc.name)
-		w := table()
-		fmt.Fprint(w, "freq_MHz")
-		for _, sw := range sweeps {
-			fmt.Fprintf(w, "\t%s", sw.Workload.Name)
-		}
-		fmt.Fprintln(w)
-		for i, f := range freqs {
-			fmt.Fprintf(w, "%.0f", f/1e6)
-			for _, sw := range sweeps {
-				fmt.Fprintf(w, "\t%.3f", get(sw.Points[i])/1e9)
-			}
-			fmt.Fprintln(w)
-		}
-		if err := w.Flush(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func cmdOpt(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
-	fmt.Fprintln(out, "== Sec. V: QoS-feasible minimum frequencies and optimal efficiency points ==")
-	freqs := core.DefaultFrequencies()
-	e, err := newExplorer()
-	if err != nil {
-		return err
-	}
-	sweeps, err := e.SweepManyContext(ctx, workload.All(), freqs)
-	if err != nil {
-		return err
-	}
-	w := table()
-	fmt.Fprintln(w, "workload\tmin_QoS_MHz\tbest_cores_MHz\tbest_SoC_MHz\tbest_server_MHz\tserver_eff_GUIPS/W")
-	for i, p := range workload.All() {
-		sw := sweeps[i]
-		o := sw.Optima()
-		min := "-"
-		if o.HasFeasible {
-			min = fmt.Sprintf("%.0f", o.MinFeasibleHz/1e6)
-		}
-		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.0f\t%.3f\n",
-			p.Name, min,
-			o.BestCores.FreqHz/1e6, o.BestSoC.FreqHz/1e6, o.BestServer.FreqHz/1e6,
-			o.BestServer.EffServer/1e9)
-		if p.Class == workload.Virtualized {
-			var f2, f4 float64
-			for _, pt := range sw.Points {
-				d := qos.Degradation(sw.BaselineUIPS, pt.UIPSChip)
-				if f4 == 0 && d <= qos.DegradationRelaxed {
-					f4 = pt.FreqHz
-				}
-				if f2 == 0 && d <= qos.DegradationStrict {
-					f2 = pt.FreqHz
-				}
-			}
-			fmt.Fprintf(w, "  degradation bounds\t4x>=%.0f MHz\t2x>=%.0f MHz\t\t\t\n", f4/1e6, f2/1e6)
-		}
-	}
-	return w.Flush()
-}
-
-func cmdAblation(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
-	fmt.Fprintln(out, "== Sec. V-C ablations: FD-SOI knobs, LPDDR4, cluster size ==")
-	e, err := newExplorer()
-	if err != nil {
-		return err
-	}
-
-	sleep, err := e.SleepAnalysis(0.5e9)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "-- RBB sleep at %.2fV: active-idle %.2fW -> sleep %.2fW (%.1fx, %v transition, state-retentive) --\n",
-		sleep.Vdd, sleep.ActiveIdleW, sleep.RBBSleepW, sleep.Reduction, sleep.TransitionTime)
-
-	boost, err := e.BoostAnalysis(0.5)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "-- FBB boost at %.2fV: %.0f MHz -> %.0f MHz (%.1fx) for %.1fW -> %.1fW, %v transition --\n",
-		boost.Vdd, boost.BaseFreqHz/1e6, boost.BoostFreqHz/1e6, boost.Speedup,
-		boost.BasePowerW, boost.BoostPowerW, boost.TransitionTime)
-
-	// LPDDR4 what-if on the most memory-hungry scale-out app; the two
-	// memory configurations are independent full sweeps, so they run
-	// concurrently under the -jobs budget.
-	freqs := []float64{0.2e9, 0.5e9, 1.0e9, 1.5e9, 2.0e9}
-	var ddr4Sweep, lpSweep *core.Sweep
-	lpE := e.LPDDR4Explorer()
-	// Prefix the variant explorers' telemetry so their sweeps of the same
-	// workload names land in distinct series.
-	lpE.TelemetryPrefix = "lpddr4/"
-	err = parallel.Do(ctx, e.Jobs,
-		func(ctx context.Context) error {
-			var err error
-			ddr4Sweep, err = e.SweepContext(ctx, workload.MediaStreaming(), freqs)
-			return err
-		},
-		func(ctx context.Context) error {
-			var err error
-			lpSweep, err = lpE.SweepContext(ctx, workload.MediaStreaming(), freqs)
-			return err
-		})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "-- server efficiency (GUIPS/W), media-streaming: DDR4 vs LPDDR4 --")
-	w := table()
-	fmt.Fprintln(w, "freq_MHz\tDDR4\tLPDDR4\tgain")
-	for i := range freqs {
-		d, l := ddr4Sweep.Points[i].EffServer/1e9, lpSweep.Points[i].EffServer/1e9
-		fmt.Fprintf(w, "%.0f\t%.3f\t%.3f\t%.2fx\n", freqs[i]/1e6, d, l, l/d)
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-
-	// Cluster-size sensitivity (paper Sec. II-B: trends are unaffected).
-	fmt.Fprintln(out, "-- cluster-size ablation: per-core UIPC trend, 4-core vs 8-core clusters --")
-	e4, err := newExplorer()
-	if err != nil {
-		return err
-	}
-	e8, err := newExplorer()
-	if err != nil {
-		return err
-	}
-	e8.Sim.CoresPerCluster = 8
-	e8.Sim.LLCBanks = 8
-	e8.Sim.LLC.CapacityBytes = 8 << 20 // keep the core:cache ratio
-	e8.Platform.Clusters = 4           // roughly iso-area
-	e8.Platform.CoresPerCl = 8
-	e8.TelemetryPrefix = "8c/"
-	var s4, s8 *core.Sweep
-	err = parallel.Do(ctx, e.Jobs,
-		func(ctx context.Context) error {
-			var err error
-			s4, err = e4.SweepContext(ctx, workload.WebSearch(), freqs)
-			return err
-		},
-		func(ctx context.Context) error {
-			var err error
-			s8, err = e8.SweepContext(ctx, workload.WebSearch(), freqs)
-			return err
-		})
-	if err != nil {
-		return err
-	}
-	w = table()
-	fmt.Fprintln(w, "freq_MHz\tUIPC/core_4c\tUIPC/core_8c")
-	for i := range freqs {
-		u4 := s4.Points[i].UIPSChip / freqs[i] / float64(e4.Platform.TotalCores())
-		u8 := s8.Points[i].UIPSChip / freqs[i] / float64(e8.Platform.TotalCores())
-		fmt.Fprintf(w, "%.0f\t%.3f\t%.3f\n", freqs[i]/1e6, u4, u8)
-	}
-	return w.Flush()
-}

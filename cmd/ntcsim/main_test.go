@@ -10,7 +10,7 @@ import (
 	"testing"
 	"time"
 
-	"ntcsim/internal/core"
+	"ntcsim/internal/experiments"
 )
 
 // capture redirects the report writer for one test.
@@ -27,7 +27,7 @@ func capture(t *testing.T, f func() error) string {
 }
 
 func TestCmdTable1Output(t *testing.T) {
-	got := capture(t, cmdTable1)
+	got := runExperiment(t, "table1", experiments.Params{})
 	for _, want := range []string{"E_IDLE", "0.0728", "0.2566", "0.2495"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("table1 output missing %q:\n%s", want, got)
@@ -36,7 +36,7 @@ func TestCmdTable1Output(t *testing.T) {
 }
 
 func TestCmdFig1Output(t *testing.T) {
-	got := capture(t, cmdFig1)
+	got := runExperiment(t, "fig1", experiments.Params{})
 	lines := strings.Split(strings.TrimSpace(got), "\n")
 	// Header + title + 35 frequency rows.
 	if len(lines) < 30 {
@@ -52,7 +52,7 @@ func TestCmdFig1Output(t *testing.T) {
 }
 
 func TestCmdVariationOutput(t *testing.T) {
-	got := capture(t, func() error { return cmdVariation(7) })
+	got := runExperiment(t, "variation", experiments.Params{Seed: 7})
 	if !strings.Contains(got, "compensated_MHz") {
 		t.Fatalf("variation output malformed:\n%s", got)
 	}
@@ -69,8 +69,7 @@ func TestCmdVariationOutput(t *testing.T) {
 }
 
 func TestCmdDarkSiliconOutput(t *testing.T) {
-	newE := testExplorerFactory(t)
-	got := capture(t, func() error { return cmdDarkSilicon(newE) })
+	got := runExperiment(t, "darksilicon", experiments.Params{WarmInstr: 200_000})
 	if !strings.Contains(got, "36/36") {
 		t.Fatalf("NT rows should show all cores active:\n%s", got)
 	}
@@ -159,19 +158,5 @@ func TestRunInterrupted(t *testing.T) {
 	}
 	if jerr := json.Unmarshal(raw, &metrics); jerr != nil {
 		t.Fatalf("interrupted run left a torn metrics file: %v", jerr)
-	}
-}
-
-// testExplorerFactory mirrors run()'s explorer construction with the quick
-// configuration.
-func testExplorerFactory(t *testing.T) func() (*core.Explorer, error) {
-	t.Helper()
-	return func() (*core.Explorer, error) {
-		e, err := core.NewExplorer()
-		if err != nil {
-			return nil, err
-		}
-		e.WarmInstr = 200_000
-		return e, nil
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -144,7 +145,7 @@ func obsSweepSnapshot(t *testing.T, jobs int) ([]byte, obs.Snapshot) {
 	}
 	e.Jobs = jobs
 	e.Obs = obs.NewRegistry()
-	if _, err := e.Sweep(workload.WebSearch(), []float64{0.2e9, 0.5e9, 1.0e9, 2.0e9}); err != nil {
+	if _, err := e.Sweep(context.Background(), workload.WebSearch(), []float64{0.2e9, 0.5e9, 1.0e9, 2.0e9}); err != nil {
 		t.Fatal(err)
 	}
 	snap := e.Obs.Snapshot()
@@ -214,7 +215,7 @@ func TestSweepTraceValid(t *testing.T) {
 	e.Jobs = 4
 	var buf bytes.Buffer
 	e.Tracer = obs.NewTracer(&buf)
-	if _, err := e.Sweep(workload.WebSearch(), []float64{0.5e9, 2.0e9}); err != nil {
+	if _, err := e.Sweep(context.Background(), workload.WebSearch(), []float64{0.5e9, 2.0e9}); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Tracer.Close(); err != nil {

@@ -2,89 +2,13 @@ package main
 
 import (
 	"bytes"
-	"context"
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"ntcsim/internal/obs"
-	"ntcsim/internal/obs/timeseries"
 )
-
-// TestTelemetryDeterministicAcrossJobs is the counter-class determinism
-// gate for the whole telemetry path: the CSV dump, the trace counter
-// lane and the conservation audit must be byte-identical no matter how
-// the serve scenarios were scheduled across workers.
-func TestTelemetryDeterministicAcrossJobs(t *testing.T) {
-	shape, cfg, trace := serveTestSetup(t)
-	run := func(jobs int) (csv string, counters string) {
-		sampler := timeseries.NewSampler()
-		var traceBuf bytes.Buffer
-		tracer := obs.NewTracer(&traceBuf)
-		capture(t, func() error {
-			return serveReport(context.Background(), jobs, shape, cfg, trace, 0x5eed, nil, tracer, sampler)
-		})
-		if err := sampler.Audit(0); err != nil {
-			t.Fatalf("jobs=%d: %v", jobs, err)
-		}
-		var csvBuf bytes.Buffer
-		if err := sampler.WriteCSV(&csvBuf); err != nil {
-			t.Fatal(err)
-		}
-		sampler.EmitTraceCounters(tracer)
-		if err := tracer.Close(); err != nil {
-			t.Fatal(err)
-		}
-		return csvBuf.String(), counterEvents(t, traceBuf.Bytes())
-	}
-	wantCSV, wantC := run(1)
-	if !strings.Contains(wantCSV, "serve/tracking/join-shortest-queue") {
-		t.Fatalf("telemetry CSV missing expected series:\n%s", wantCSV)
-	}
-	if wantC == "" {
-		t.Fatal("no counter events emitted")
-	}
-	for _, jobs := range []int{4, 8} {
-		gotCSV, gotC := run(jobs)
-		if gotCSV != wantCSV {
-			t.Fatalf("telemetry CSV differs between -jobs 1 and -jobs %d:\n%s",
-				jobs, diffHint(wantCSV, gotCSV))
-		}
-		if gotC != wantC {
-			t.Fatalf("trace counter lane differs between -jobs 1 and -jobs %d:\n%s",
-				jobs, diffHint(wantC, gotC))
-		}
-	}
-}
-
-// counterEvents extracts the "C"-phase events from a Chrome trace file in
-// their file order and re-marshals them canonically. Live duration spans
-// interleave nondeterministically under parallel scheduling, so only the
-// counter lane — emitted post-run in canonical order — is compared.
-func counterEvents(t *testing.T, trace []byte) string {
-	t.Helper()
-	var doc struct {
-		TraceEvents []map[string]any `json:"traceEvents"`
-	}
-	if err := json.Unmarshal(trace, &doc); err != nil {
-		t.Fatalf("trace is not valid JSON: %v", err)
-	}
-	var b strings.Builder
-	for _, ev := range doc.TraceEvents {
-		if ev["ph"] != "C" {
-			continue
-		}
-		line, err := json.Marshal(ev) // map keys marshal sorted
-		if err != nil {
-			t.Fatal(err)
-		}
-		b.Write(line)
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
 
 // TestReportGolden snapshots the HTML report rendered from a handcrafted
 // telemetry fixture (two series, per-cluster and chip-scope samples).

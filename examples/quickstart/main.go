@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	app := workload.WebSearch()
 	fmt.Printf("workload: %s (%s, QoS %v)\n\n", app.Name, app.Class, app.QoSLimit)
 
-	sweep, err := explorer.Sweep(app, []float64{0.3e9, 1.0e9, 2.0e9})
+	sweep, err := explorer.Sweep(context.Background(), app, []float64{0.3e9, 1.0e9, 2.0e9})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 		}
 		explorer.WarmInstr = 1_000_000
 
-		sweep, err := explorer.Sweep(app, freqs)
+		sweep, err := explorer.Sweep(context.Background(), app, freqs)
 		if err != nil {
 			log.Fatal(err)
 		}

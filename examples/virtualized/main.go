@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 			log.Fatal(err)
 		}
 		explorer.WarmInstr = 1_000_000
-		sweep, err := explorer.Sweep(vm, freqs)
+		sweep, err := explorer.Sweep(context.Background(), vm, freqs)
 		if err != nil {
 			log.Fatal(err)
 		}

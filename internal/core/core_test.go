@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"os"
 	"testing"
@@ -35,7 +36,7 @@ func sweep(t *testing.T, p *workload.Profile) *Sweep {
 		return s
 	}
 	e := testExplorer(t)
-	s, err := e.Sweep(p, testFreqs)
+	s, err := e.Sweep(context.Background(), p, testFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,13 +206,13 @@ func TestVMHighMemBeatsLowMemUIPS(t *testing.T) {
 
 func TestSweepValidation(t *testing.T) {
 	e := testExplorer(t)
-	if _, err := e.Sweep(workload.WebSearch(), nil); err == nil {
+	if _, err := e.Sweep(context.Background(), workload.WebSearch(), nil); err == nil {
 		t.Fatal("empty frequency list should error")
 	}
-	if _, err := e.Sweep(workload.WebSearch(), []float64{-1}); err == nil {
+	if _, err := e.Sweep(context.Background(), workload.WebSearch(), []float64{-1}); err == nil {
 		t.Fatal("negative frequency should error")
 	}
-	if _, err := e.Sweep(workload.WebSearch(), []float64{50e9}); err == nil {
+	if _, err := e.Sweep(context.Background(), workload.WebSearch(), []float64{50e9}); err == nil {
 		t.Fatal("unreachable frequency should error")
 	}
 }
@@ -384,7 +385,7 @@ func TestCheckpointDirAcceleratesSweeps(t *testing.T) {
 	e.CheckpointDir = dir
 	freqs := []float64{0.5e9, 2.0e9}
 
-	first, err := e.Sweep(workload.MediaStreaming(), freqs)
+	first, err := e.Sweep(context.Background(), workload.MediaStreaming(), freqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +402,7 @@ func TestCheckpointDirAcceleratesSweeps(t *testing.T) {
 	// points must match exactly (same sampled windows).
 	e2 := testExplorer(t)
 	e2.CheckpointDir = dir
-	second, err := e2.Sweep(workload.MediaStreaming(), freqs)
+	second, err := e2.Sweep(context.Background(), workload.MediaStreaming(), freqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestThermalCouplingRaisesHighFrequencyPower(t *testing.T) {
 	e := testExplorer(t)
 	m := thermal.Default()
 	e.Thermal = &m
-	coupled, err := e.Sweep(workload.WebSearch(), []float64{0.3e9, 2.0e9})
+	coupled, err := e.Sweep(context.Background(), workload.WebSearch(), []float64{0.3e9, 2.0e9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -134,21 +134,27 @@ type Explorer struct {
 }
 
 // NewExplorer returns an explorer for the paper's default platform with
-// the reduced-cost sampling configuration (use PaperFidelity for the full
-// SMARTS windows).
-func NewExplorer() (*Explorer, error) {
+// the reduced-cost sampling configuration (use WithFidelity("paper") or
+// PaperFidelity for the full SMARTS windows), then applies the options in
+// order. With no options the explorer is the historical default, so
+// existing zero-argument callers are unchanged.
+func NewExplorer(opts ...Option) (*Explorer, error) {
 	spec, err := platform.Default()
 	if err != nil {
 		return nil, err
 	}
-	return &Explorer{
+	e := &Explorer{
 		Platform:     spec,
 		Sim:          sim.DefaultConfig(),
 		SamplingFor:  func(*workload.Profile) sampling.Config { return sampling.QuickConfig() },
 		WarmInstr:    2_000_000,
 		SettleCycles: 20_000,
 		Activity:     1.0,
-	}, nil
+	}
+	if err := e.apply(opts); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // PaperFidelity switches the explorer to the paper's full sampling windows
@@ -195,7 +201,9 @@ type Sweep struct {
 }
 
 // Sweep runs the workload across the given core frequencies (Hz) and
-// returns the evaluated points in ascending frequency order.
+// returns the evaluated points in ascending frequency order. A cancelled
+// ctx stops the sweep between points (a point mid-simulation runs to
+// completion).
 //
 // Execution model: the cluster is warmed once at the 2GHz baseline and the
 // baseline throughput is sampled; the resulting warmed state is captured as
@@ -206,13 +214,7 @@ type Sweep struct {
 // settle window and samples. Because a point's result is a pure function of
 // (checkpoint, frequency, point index), points evaluate concurrently — up
 // to Jobs workers — with output bit-identical to the serial loop.
-func (e *Explorer) Sweep(p *workload.Profile, freqsHz []float64) (*Sweep, error) {
-	return e.SweepContext(context.Background(), p, freqsHz)
-}
-
-// SweepContext is Sweep with cancellation: a cancelled ctx stops the sweep
-// between points (a point mid-simulation runs to completion).
-func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsHz []float64) (*Sweep, error) {
+func (e *Explorer) Sweep(ctx context.Context, p *workload.Profile, freqsHz []float64) (*Sweep, error) {
 	if len(freqsHz) == 0 {
 		return nil, fmt.Errorf("core: empty frequency list")
 	}
@@ -371,20 +373,15 @@ func (e *Explorer) runPoint(p *workload.Profile, sw *Sweep, cfg sampling.Config,
 // SweepMany sweeps each profile over the same frequency grid, fanning the
 // workloads (and each workload's points) across the Jobs worker budget.
 // Results are returned in profile order and are bit-identical for any Jobs
-// setting.
-func (e *Explorer) SweepMany(profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
-	return e.SweepManyContext(context.Background(), profiles, freqsHz)
-}
-
-// SweepManyContext is SweepMany with cancellation: a cancelled ctx stops
-// every workload's sweep between points (points mid-simulation run to
-// completion, so results that were produced are valid).
+// setting. A cancelled ctx stops every workload's sweep between points
+// (points mid-simulation run to completion, so results that were produced
+// are valid).
 //
 // When CheckpointDir is set, profiles must have distinct names: the
 // checkpoint cache is keyed per profile, and two entries sharing a name
 // would race on the same single-flight lock for no benefit. The invariant
 // is enforced, not assumed.
-func (e *Explorer) SweepManyContext(ctx context.Context, profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
+func (e *Explorer) SweepMany(ctx context.Context, profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
 	if e.CheckpointDir != "" {
 		seen := make(map[string]bool, len(profiles))
 		for _, p := range profiles {
@@ -397,7 +394,7 @@ func (e *Explorer) SweepManyContext(ctx context.Context, profiles []*workload.Pr
 	sweeps := make([]*Sweep, len(profiles))
 	err := parallel.ForEach(ctx, len(profiles), e.Jobs,
 		func(ctx context.Context, i int) error {
-			sw, err := e.SweepContext(ctx, profiles[i], freqsHz)
+			sw, err := e.Sweep(ctx, profiles[i], freqsHz)
 			if err != nil {
 				return fmt.Errorf("%s: %w", profiles[i].Name, err)
 			}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ntcsim/internal/faultfs"
+	"ntcsim/internal/obs"
+	"ntcsim/internal/obs/timeseries"
+	"ntcsim/internal/workload"
+)
+
+// Option configures an Explorer at construction time. Options replace the
+// historical pattern of poking exported fields after NewExplorer; the
+// fields remain exported (and poking them still works) so existing callers
+// are unaffected, but new code should pass options so construction and
+// validation happen in one place.
+type Option func(*Explorer) error
+
+// WithSeed sets the simulation seed (Sim.Seed).
+func WithSeed(seed uint64) Option {
+	return func(e *Explorer) error {
+		e.Sim.Seed = seed
+		return nil
+	}
+}
+
+// WithJobs bounds the sweep fan-out; <= 0 selects GOMAXPROCS. Results are
+// bit-identical for every setting.
+func WithJobs(jobs int) Option {
+	return func(e *Explorer) error {
+		e.Jobs = jobs
+		return nil
+	}
+}
+
+// WithCheckpointDir enables the warmed-cluster checkpoint cache.
+func WithCheckpointDir(dir string) Option {
+	return func(e *Explorer) error {
+		e.CheckpointDir = dir
+		return nil
+	}
+}
+
+// WithFS overrides the filesystem used for checkpoint persistence (tests
+// inject faults through it); nil keeps the real OS filesystem.
+func WithFS(fs faultfs.FS) Option {
+	return func(e *Explorer) error {
+		e.FS = fs
+		return nil
+	}
+}
+
+// WithObs attaches a metrics registry; nil keeps the uninstrumented path.
+func WithObs(r *obs.Registry) Option {
+	return func(e *Explorer) error {
+		e.Obs = r
+		return nil
+	}
+}
+
+// WithTracer attaches a Chrome-trace tracer; nil disables tracing.
+func WithTracer(t *obs.Tracer) Option {
+	return func(e *Explorer) error {
+		e.Tracer = t
+		return nil
+	}
+}
+
+// WithProgress attaches a per-point progress reporter; nil disables it.
+func WithProgress(p *obs.Progress) Option {
+	return func(e *Explorer) error {
+		e.Progress = p
+		return nil
+	}
+}
+
+// WithTelemetry attaches the energy-attribution sampler, recording under
+// "<prefix>sweep/<workload>" series; a nil sampler disables telemetry.
+func WithTelemetry(s *timeseries.Sampler, prefix string) Option {
+	return func(e *Explorer) error {
+		e.Telemetry = s
+		e.TelemetryPrefix = prefix
+		return nil
+	}
+}
+
+// WithWarnf routes recovered-fault notices (quarantined checkpoints,
+// failed saves, stale locks) to fn; nil discards them.
+func WithWarnf(fn func(format string, args ...any)) Option {
+	return func(e *Explorer) error {
+		e.Warnf = fn
+		return nil
+	}
+}
+
+// WithRetries sets the per-point retry budget for transient failures.
+func WithRetries(n int) Option {
+	return func(e *Explorer) error {
+		if n < 0 {
+			return fmt.Errorf("core: negative retry budget %d", n)
+		}
+		e.Retries = n
+		return nil
+	}
+}
+
+// WithFidelity selects the sampling fidelity by name: "quick" (or "") for
+// the reduced-cost configuration, "paper" for the full SMARTS windows.
+// Unknown names are rejected at construction.
+func WithFidelity(name string) Option {
+	return func(e *Explorer) error {
+		switch name {
+		case "", "quick":
+			return nil
+		case "paper":
+			e.PaperFidelity()
+			return nil
+		default:
+			return fmt.Errorf("core: unknown fidelity %q (want quick or paper)", name)
+		}
+	}
+}
+
+// WithWarmup overrides the functional warmup length and the post-DVFS
+// settle window; zero keeps the fidelity's default for that knob. Golden
+// and smoke harnesses use this to trade accuracy for speed explicitly
+// instead of poking fields.
+func WithWarmup(warmInstr uint64, settleCycles int64) Option {
+	return func(e *Explorer) error {
+		if settleCycles < 0 {
+			return fmt.Errorf("core: negative settle window %d", settleCycles)
+		}
+		if warmInstr > 0 {
+			e.WarmInstr = warmInstr
+		}
+		if settleCycles > 0 {
+			e.SettleCycles = settleCycles
+		}
+		return nil
+	}
+}
+
+// apply runs the options in order; the first error wins. Order is
+// significant for options touching the same knobs: pass WithFidelity
+// before WithWarmup so the override lands on top of the fidelity's
+// defaults, not under them.
+func (e *Explorer) apply(opts []Option) error {
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deprecated: SweepContext is the pre-redesign name of Sweep; the
+// canonical API is context-first. The shim forwards unchanged (results
+// stay byte-identical) and exists only for external callers.
+func (e *Explorer) SweepContext(ctx context.Context, p *workload.Profile, freqsHz []float64) (*Sweep, error) {
+	return e.Sweep(ctx, p, freqsHz)
+}
+
+// Deprecated: SweepManyContext is the pre-redesign name of SweepMany; the
+// canonical API is context-first. The shim forwards unchanged (results
+// stay byte-identical) and exists only for external callers.
+func (e *Explorer) SweepManyContext(ctx context.Context, profiles []*workload.Profile, freqsHz []float64) ([]*Sweep, error) {
+	return e.SweepMany(ctx, profiles, freqsHz)
+}

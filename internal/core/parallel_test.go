@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ntcsim/internal/workload"
@@ -42,7 +43,7 @@ func TestSweepBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	skipExhaustive(t)
 	run := func(jobs int) *Sweep {
 		e := determinismExplorer(t, jobs)
-		sw, err := e.Sweep(workload.WebSearch(), determinismFreqs)
+		sw, err := e.Sweep(context.Background(), workload.WebSearch(), determinismFreqs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,11 +77,11 @@ func TestSweepReproducibleAcrossExplorerInstances(t *testing.T) {
 	skipExhaustive(t)
 	a := determinismExplorer(t, 2)
 	b := determinismExplorer(t, 3)
-	swA, err := a.Sweep(workload.MediaStreaming(), determinismFreqs)
+	swA, err := a.Sweep(context.Background(), workload.MediaStreaming(), determinismFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	swB, err := b.Sweep(workload.MediaStreaming(), determinismFreqs)
+	swB, err := b.Sweep(context.Background(), workload.MediaStreaming(), determinismFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSweepManyMatchesIndividualSweeps(t *testing.T) {
 	skipExhaustive(t)
 	profiles := []*workload.Profile{workload.WebSearch(), workload.VMLowMem()}
 	many := determinismExplorer(t, 4)
-	sweeps, err := many.SweepMany(profiles, determinismFreqs)
+	sweeps, err := many.SweepMany(context.Background(), profiles, determinismFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSweepManyMatchesIndividualSweeps(t *testing.T) {
 			t.Fatalf("sweep %d is %s, want profile order (%s)", i, sweeps[i].Workload.Name, p.Name)
 		}
 		one := determinismExplorer(t, 1)
-		ref, err := one.Sweep(p, determinismFreqs)
+		ref, err := one.Sweep(context.Background(), p, determinismFreqs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,10 +133,10 @@ func TestSweepManyMatchesIndividualSweeps(t *testing.T) {
 func TestParallelSweepRaceSmoke(t *testing.T) {
 	e := determinismExplorer(t, 8)
 	e.WarmInstr = 100_000
-	if _, err := e.Sweep(workload.WebServing(), []float64{0.3e9, 0.7e9, 1.5e9}); err != nil {
+	if _, err := e.Sweep(context.Background(), workload.WebServing(), []float64{0.3e9, 0.7e9, 1.5e9}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.SweepMany(
+	if _, err := e.SweepMany(context.Background(),
 		[]*workload.Profile{workload.WebSearch(), workload.VMHighMem()},
 		[]float64{0.5e9, 2.0e9}); err != nil {
 		t.Fatal(err)
@@ -147,7 +148,7 @@ func TestSweepErrorPropagatesFromWorkers(t *testing.T) {
 	e.WarmInstr = 100_000
 	// 50GHz is unreachable for the technology: the evaluate step of that
 	// point must fail and surface through the pool.
-	_, err := e.Sweep(workload.WebSearch(), []float64{0.5e9, 50e9})
+	_, err := e.Sweep(context.Background(), workload.WebSearch(), []float64{0.5e9, 50e9})
 	if err == nil {
 		t.Fatal("unreachable frequency must fail the sweep")
 	}

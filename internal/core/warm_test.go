@@ -140,7 +140,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 func TestCacheKeyedByProfileParams(t *testing.T) {
 	dir := t.TempDir()
 	e1, _ := warmExplorer(t, dir)
-	if _, err := e1.Sweep(workload.WebSearch(), warmFreqs); err != nil {
+	if _, err := e1.Sweep(context.Background(), workload.WebSearch(), warmFreqs); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(ckptFiles(t, dir)); n != 1 {
@@ -152,7 +152,7 @@ func TestCacheKeyedByProfileParams(t *testing.T) {
 	edited.StreamFrac *= 0.95
 
 	e2, _ := warmExplorer(t, dir)
-	cached, err := e2.Sweep(&edited, warmFreqs)
+	cached, err := e2.Sweep(context.Background(), &edited, warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestCacheKeyedByProfileParams(t *testing.T) {
 	}
 
 	e3, _ := warmExplorer(t, "") // no cache at all
-	uncached, err := e3.Sweep(&edited, warmFreqs)
+	uncached, err := e3.Sweep(context.Background(), &edited, warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestCacheKeyedByProfileParams(t *testing.T) {
 func TestCorruptCheckpointQuarantinedAndRewarmed(t *testing.T) {
 	dir := t.TempDir()
 	e1, _ := warmExplorer(t, dir)
-	clean, err := e1.Sweep(workload.WebSearch(), warmFreqs)
+	clean, err := e1.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestCorruptCheckpointQuarantinedAndRewarmed(t *testing.T) {
 			os.Remove(path + ".corrupt")
 
 			e2, warns := warmExplorer(t, dir)
-			got, err := e2.Sweep(workload.WebSearch(), warmFreqs)
+			got, err := e2.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 			if err != nil {
 				t.Fatalf("corruption must recover, not fail: %v", err)
 			}
@@ -226,7 +226,7 @@ func TestCorruptCheckpointQuarantinedAndRewarmed(t *testing.T) {
 func TestStaleFingerprintRewarmsWithoutQuarantine(t *testing.T) {
 	dir := t.TempDir()
 	e1, _ := warmExplorer(t, dir)
-	if _, err := e1.Sweep(workload.WebSearch(), warmFreqs); err != nil {
+	if _, err := e1.Sweep(context.Background(), workload.WebSearch(), warmFreqs); err != nil {
 		t.Fatal(err)
 	}
 	src := ckptFiles(t, dir)[0]
@@ -249,7 +249,7 @@ func TestStaleFingerprintRewarmsWithoutQuarantine(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cached, err := e2.Sweep(workload.WebSearch(), warmFreqs)
+	cached, err := e2.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestStaleFingerprintRewarmsWithoutQuarantine(t *testing.T) {
 
 	e3, _ := warmExplorer(t, "")
 	e3.WarmInstr = e2.WarmInstr
-	uncached, err := e3.Sweep(workload.WebSearch(), warmFreqs)
+	uncached, err := e3.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestSaveFailureRecoversUncached(t *testing.T) {
 		{"rename failure", &faultfs.Rule{Op: faultfs.OpRename, Path: ".ckpt", Err: enospc}},
 	}
 	e0, _ := warmExplorer(t, "")
-	clean, err := e0.Sweep(workload.WebSearch(), warmFreqs)
+	clean, err := e0.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestSaveFailureRecoversUncached(t *testing.T) {
 			dir := t.TempDir()
 			e, warns := warmExplorer(t, dir)
 			e.FS = faultfs.NewInjector(nil, tc.rule)
-			got, err := e.Sweep(workload.WebSearch(), warmFreqs)
+			got, err := e.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 			if err != nil {
 				t.Fatalf("a failed checkpoint save must not fail the sweep: %v", err)
 			}
@@ -322,7 +322,7 @@ func TestSilentWriteCorruptionCaughtAtLoad(t *testing.T) {
 		Op: faultfs.OpWrite, Path: ".ckpt", After: 1, Count: 1,
 		Corrupt: true, CorruptByte: 100,
 	})
-	first, err := e1.Sweep(workload.WebSearch(), warmFreqs)
+	first, err := e1.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestSilentWriteCorruptionCaughtAtLoad(t *testing.T) {
 	// The next run must catch the corruption via CRC, quarantine, re-warm
 	// and still produce identical numbers.
 	e2, warns := warmExplorer(t, dir)
-	second, err := e2.Sweep(workload.WebSearch(), warmFreqs)
+	second, err := e2.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatalf("CRC-detected corruption must recover: %v", err)
 	}
@@ -347,7 +347,7 @@ func TestSilentWriteCorruptionCaughtAtLoad(t *testing.T) {
 func TestQuarantineFailureSurfacesError(t *testing.T) {
 	dir := t.TempDir()
 	e1, _ := warmExplorer(t, dir)
-	if _, err := e1.Sweep(workload.WebSearch(), warmFreqs); err != nil {
+	if _, err := e1.Sweep(context.Background(), workload.WebSearch(), warmFreqs); err != nil {
 		t.Fatal(err)
 	}
 	path := ckptFiles(t, dir)[0]
@@ -364,7 +364,7 @@ func TestQuarantineFailureSurfacesError(t *testing.T) {
 	e2.FS = faultfs.NewInjector(nil, &faultfs.Rule{
 		Op: faultfs.OpRename, Path: ".corrupt", Err: errors.New("read-only filesystem"),
 	})
-	_, err = e2.Sweep(workload.WebSearch(), warmFreqs)
+	_, err = e2.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err == nil {
 		t.Fatal("an unquarantinable corrupt checkpoint must surface an error")
 	}
@@ -384,7 +384,7 @@ func TestConcurrentSweepsSingleFlightWarmup(t *testing.T) {
 		wg.Add(1)
 		go func(i int, e *Explorer) {
 			defer wg.Done()
-			results[i], errs[i] = e.SweepContext(context.Background(), workload.WebSearch(), warmFreqs)
+			results[i], errs[i] = e.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 		}(i, e)
 	}
 	wg.Wait()
@@ -416,7 +416,7 @@ func TestStaleWarmupLockFallsBack(t *testing.T) {
 	if err := os.WriteFile(path+".lock", nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Sweep(workload.WebSearch(), warmFreqs); err != nil {
+	if _, err := e.Sweep(context.Background(), workload.WebSearch(), warmFreqs); err != nil {
 		t.Fatalf("a stale lock must not hang or fail the sweep: %v", err)
 	}
 	if !warns.contains("stale lock") {
@@ -435,7 +435,7 @@ func TestSweepManyWithCheckpointDirBitIdentical(t *testing.T) {
 	profiles := []*workload.Profile{workload.WebSearch(), workload.MediaStreaming()}
 
 	e0, _ := warmExplorer(t, "")
-	uncached, err := e0.SweepMany(profiles, warmFreqs)
+	uncached, err := e0.SweepMany(context.Background(), profiles, warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,13 +444,13 @@ func TestSweepManyWithCheckpointDirBitIdentical(t *testing.T) {
 	cold, _ := warmExplorer(t, dir)
 	cold.Jobs = 4
 	cold.WarmLockPoll = time.Millisecond
-	coldRes, err := cold.SweepManyContext(context.Background(), profiles, warmFreqs)
+	coldRes, err := cold.SweepMany(context.Background(), profiles, warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	warm, _ := warmExplorer(t, dir)
 	warm.Jobs = 1
-	warmRes, err := warm.SweepMany(profiles, warmFreqs)
+	warmRes, err := warm.SweepMany(context.Background(), profiles, warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestSweepManyWithCheckpointDirBitIdentical(t *testing.T) {
 
 func TestSweepManyDuplicateProfilesRejected(t *testing.T) {
 	e, _ := warmExplorer(t, t.TempDir())
-	_, err := e.SweepMany([]*workload.Profile{workload.WebSearch(), workload.WebSearch()}, warmFreqs)
+	_, err := e.SweepMany(context.Background(), []*workload.Profile{workload.WebSearch(), workload.WebSearch()}, warmFreqs)
 	if err == nil || !strings.Contains(err.Error(), "duplicate profile") {
 		t.Fatalf("duplicate profiles with CheckpointDir must be rejected, got %v", err)
 	}
@@ -473,7 +473,7 @@ func TestSweepManyDuplicateProfilesRejected(t *testing.T) {
 
 func TestPointRetryIsBitIdentical(t *testing.T) {
 	e0, _ := warmExplorer(t, "")
-	clean, err := e0.Sweep(workload.WebSearch(), warmFreqs)
+	clean, err := e0.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,7 +490,7 @@ func TestPointRetryIsBitIdentical(t *testing.T) {
 		}
 		return nil
 	}
-	got, err := e.Sweep(workload.WebSearch(), warmFreqs)
+	got, err := e.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if err != nil {
 		t.Fatalf("retries should absorb the transient failure: %v", err)
 	}
@@ -511,7 +511,7 @@ func TestPointRetryBudgetExhausted(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := e.Sweep(workload.WebSearch(), warmFreqs)
+	_, err := e.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if !errors.Is(err, persistent) {
 		t.Fatalf("exhausted retries must surface the failure, got %v", err)
 	}
@@ -529,7 +529,7 @@ func TestCancellationIsNeverRetried(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := e.Sweep(workload.WebSearch(), warmFreqs)
+	_, err := e.Sweep(context.Background(), workload.WebSearch(), warmFreqs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
@@ -551,7 +551,7 @@ func TestSweepContextStopsBetweenPoints(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := e.SweepContext(ctx, workload.WebSearch(), warmFreqs)
+	_, err := e.Sweep(ctx, workload.WebSearch(), warmFreqs)
 	if !errors.Is(err, cause) {
 		t.Fatalf("cancellation cause must propagate out of the sweep, got %v", err)
 	}
@@ -575,7 +575,7 @@ func TestWarmupHonorsCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancelCause(context.Background())
 	cause := errors.New("shutdown")
 	cancel(cause)
-	if _, err := e.SweepContext(ctx, workload.WebSearch(), warmFreqs); !errors.Is(err, cause) {
+	if _, err := e.Sweep(ctx, workload.WebSearch(), warmFreqs); !errors.Is(err, cause) {
 		t.Fatalf("a sweep waiting on the warmup lock must honor cancellation, got %v", err)
 	}
 }

@@ -1,4 +1,4 @@
-package main
+package experiments
 
 import (
 	"context"
@@ -6,7 +6,6 @@ import (
 
 	"ntcsim/internal/core"
 	"ntcsim/internal/governor"
-	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/qos"
 	"ntcsim/internal/rng"
 	"ntcsim/internal/tech"
@@ -14,14 +13,15 @@ import (
 	"ntcsim/internal/workload"
 )
 
-// cmdVariation reproduces the paper's Sec. II-A item 4 argument: process
+// runVariation reproduces the paper's Sec. II-A item 4 argument: process
 // variation is magnified at near-threshold voltages, and per-core body
 // bias recovers the loss.
-func cmdVariation(seed uint64) error {
+func runVariation(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== Sec. II-A(4): near-threshold variation and body-bias compensation ==")
 	t := tech.FDSOI28()
-	offsets := tech.DefaultVariation().SampleOffsets(36, rng.New(seed))
-	w := table()
+	offsets := tech.DefaultVariation().SampleOffsets(36, rng.New(p.Seed))
+	w := env.tbl()
 	fmt.Fprintln(w, "Vdd\tnominal_MHz\tuncompensated_MHz\tloss\tcompensated_MHz\tresidual_loss\tmax_bias_V")
 	for _, vdd := range []float64{0.5, 0.6, 0.7, 0.9, 1.1, 1.3} {
 		imp := t.AnalyzeVariation(vdd, offsets)
@@ -33,11 +33,12 @@ func cmdVariation(seed uint64) error {
 	return w.Flush()
 }
 
-// cmdDarkSilicon reproduces the Sec. V-B1 TDP argument: at NT operating
+// runDarkSilicon reproduces the Sec. V-B1 TDP argument: at NT operating
 // points the 100W budget feeds every core; at peak frequency it cannot.
-func cmdDarkSilicon(newExplorer func() (*core.Explorer, error)) error {
+func runDarkSilicon(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== Sec. V-B1: TDP and dark silicon across the DVFS range ==")
-	e, err := newExplorer()
+	e, err := p.NewExplorer(env)
 	if err != nil {
 		return err
 	}
@@ -48,37 +49,38 @@ func cmdDarkSilicon(newExplorer func() (*core.Explorer, error)) error {
 	if err != nil {
 		return err
 	}
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "freq_MHz\tVdd\tW/core\tactive_cores\tdark_fraction\tTj_at_budget")
-	for _, p := range pts {
-		chipW := float64(p.ActiveCores)*p.PerCoreW + uncoreW
+	for _, pt := range pts {
+		chipW := float64(pt.ActiveCores)*pt.PerCoreW + uncoreW
 		fmt.Fprintf(w, "%.0f\t%.3f\t%.2f\t%d/%d\t%.0f%%\t%.1fC\n",
-			p.FreqHz/1e6, p.Vdd, p.PerCoreW, p.ActiveCores, p.TotalCores,
-			100*p.DarkFraction, m.JunctionTemp(chipW))
+			pt.FreqHz/1e6, pt.Vdd, pt.PerCoreW, pt.ActiveCores, pt.TotalCores,
+			100*pt.DarkFraction, m.JunctionTemp(chipW))
 	}
 	return w.Flush()
 }
 
-// cmdGovernor runs the energy-proportionality policy comparison over a
-// diurnal day of load (Sec. V-C's knobs, operationalized).
-func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64, sampler *timeseries.Sampler) error {
-	fmt.Fprintln(out, "== Sec. V-C: DVFS governor policies over a diurnal day (web-search) ==")
-	e, err := newExplorer()
+// governorConfig builds the shared governor configuration from a swept
+// perf curve — the common prelude of the governor and serve experiments.
+// It also returns the explorer it swept with (the serve experiment reads
+// the fleet geometry off its platform) and the diurnal peak load.
+func governorConfig(ctx context.Context, p Params, env Env) (*governor.Config, *core.Explorer, float64, error) {
+	e, err := p.NewExplorer(env)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	app := workload.WebSearch()
-	sweep, err := e.SweepContext(ctx, app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
+	sweep, err := e.Sweep(ctx, app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	var pts []governor.PerfPoint
-	for _, p := range sweep.Points {
-		pts = append(pts, governor.PerfPoint{FreqHz: p.FreqHz, UIPS: p.UIPSChip})
+	for _, pt := range sweep.Points {
+		pts = append(pts, governor.PerfPoint{FreqHz: pt.FreqHz, UIPS: pt.UIPSChip})
 	}
 	curve, err := governor.NewPerfCurve(pts)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	maxUIPS := curve.UIPSAt(curve.MaxFreq())
 	cfg := &governor.Config{
@@ -90,13 +92,25 @@ func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error)
 		MemBackgroundW: e.Platform.MemoryPowerW(0, 0),
 		MemDynPerReq:   2e-3,
 		Margin:         0.85,
-		Telemetry:      sampler,
 	}
 	// Attribute the scalar UncoreW across ledger scopes (same rates).
 	llcW, xbarW, ioW := e.Platform.UncorePowerParts(100e6, 40e6, 150e6)
 	cfg.Uncore = governor.UncoreBreakdown{LLCW: llcW, XbarW: xbarW, IOW: ioW}
 	peak := cfg.Tail.MaxLoad(cfg.QoSLimit, maxUIPS) * 0.7
-	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(seed))
+	return cfg, e, peak, nil
+}
+
+// runGovernor runs the energy-proportionality policy comparison over a
+// diurnal day of load (Sec. V-C's knobs, operationalized).
+func runGovernor(ctx context.Context, p Params, env Env) error {
+	out := env.out()
+	fmt.Fprintln(out, "== Sec. V-C: DVFS governor policies over a diurnal day (web-search) ==")
+	cfg, _, peak, err := governorConfig(ctx, p, env)
+	if err != nil {
+		return err
+	}
+	cfg.Telemetry = env.Telemetry
+	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(p.Seed))
 
 	results, err := governor.Compare(cfg, trace,
 		governor.NewMaxFrequency(), governor.NewRaceToIdle(),
@@ -104,7 +118,7 @@ func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error)
 	if err != nil {
 		return err
 	}
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "policy\tenergy_kWh/day\tavg_W\tQoS_violations\tsaving_vs_max")
 	base := results[0].EnergyKWh
 	for _, r := range results {
@@ -114,17 +128,18 @@ func cmdGovernor(ctx context.Context, newExplorer func() (*core.Explorer, error)
 	return w.Flush()
 }
 
-// cmdInterference quantifies the co-scheduling interference of
+// runInterference quantifies the co-scheduling interference of
 // Sec. III-B1 and its relaxation at near-threshold frequencies.
-func cmdInterference(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
+func runInterference(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== Sec. III-B1: co-scheduling interference (victim: web-search, aggressor: bubble) ==")
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "freq_MHz\tsolo_UIPC\tmixed_UIPC\tslowdown\tlat/QoS_solo\tlat/QoS_mixed\tviolated")
 	for _, f := range []float64{0.26e9, 0.5e9, 1.0e9, 2.0e9} {
 		if err := ctx.Err(); err != nil {
 			return context.Cause(ctx)
 		}
-		e, err := newExplorer()
+		e, err := p.NewExplorer(env)
 		if err != nil {
 			return err
 		}

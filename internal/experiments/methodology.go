@@ -1,25 +1,25 @@
-package main
+package experiments
 
 import (
 	"context"
 	"fmt"
 
-	"ntcsim/internal/core"
 	"ntcsim/internal/cpu"
 	"ntcsim/internal/sim"
 	"ntcsim/internal/workload"
 )
 
-// cmdScaling validates the single-cluster-times-9 methodology (DESIGN.md
+// runScaling validates the single-cluster-times-9 methodology (DESIGN.md
 // simplification #2): per-cluster throughput as more clusters actively
 // share the four DRAM channels.
-func cmdScaling(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
+func runScaling(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== methodology check: per-cluster UIPC vs active clusters sharing DRAM ==")
-	e, err := newExplorer()
+	e, err := p.NewExplorer(env)
 	if err != nil {
 		return err
 	}
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "clusters\tper-cluster_UIPC\tdrop_vs_1\tDRAM_read_GB/s")
 	var base float64
 	for _, n := range []int{1, 2, 3} {
@@ -53,21 +53,22 @@ func cmdScaling(ctx context.Context, newExplorer func() (*core.Explorer, error))
 	return nil
 }
 
-// cmdWorkloads prints the characterization table of the synthetic workload
+// runWorkloads prints the characterization table of the synthetic workload
 // clones — the evidence that they reproduce published scale-out behavior.
-func cmdWorkloads(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
+func runWorkloads(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== workload characterization at 2GHz (synthetic clones) ==")
-	e, err := newExplorer()
+	e, err := p.NewExplorer(env)
 	if err != nil {
 		return err
 	}
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "workload\tUIPC/core\tL1D_hit\tL1I_hit\tLLC_hit\tmispredict\tDRAM_MPKI\tread_GB/s\tOS_frac\tstall(FE/ROB/dep/mem)")
-	for _, p := range append(workload.All(), workload.Extended()...) {
+	for _, prof := range append(workload.All(), workload.Extended()...) {
 		if err := ctx.Err(); err != nil {
 			return context.Cause(ctx)
 		}
-		cl, err := sim.NewCluster(e.Sim, p, 2e9)
+		cl, err := sim.NewCluster(e.Sim, prof, 2e9)
 		if err != nil {
 			return err
 		}
@@ -79,7 +80,7 @@ func cmdWorkloads(ctx context.Context, newExplorer func() (*core.Explorer, error
 		osFrac := 1 - float64(m.UserInstructions)/float64(m.Instructions)
 		tot := float64(cs.FrontendStall+cs.ROBStall+cs.DepStall+cs.MemStall) + 1e-9
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.2f\t%.2f\t%.0f/%.0f/%.0f/%.0f%%\n",
-			p.Name, m.UIPC()/float64(cl.Cores()),
+			prof.Name, m.UIPC()/float64(cl.Cores()),
 			cs.L1D.HitRate(), cs.L1I.HitRate(), m.LLC.HitRate(),
 			cs.MispredictRate(), mpki, m.ReadBandwidth()/1e9, osFrac,
 			100*float64(cs.FrontendStall)/tot, 100*float64(cs.ROBStall)/tot,
@@ -88,25 +89,26 @@ func cmdWorkloads(ctx context.Context, newExplorer func() (*core.Explorer, error
 	return w.Flush()
 }
 
-// cmdPrefetch runs the stream-prefetcher ablation: the paper's platform
+// runPrefetch runs the stream-prefetcher ablation: the paper's platform
 // has no L1D prefetcher; this extension quantifies what one would add.
-func cmdPrefetch(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
+func runPrefetch(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== extension ablation: L1D stream prefetcher on/off ==")
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "workload\tUIPC_off\tUIPC_on\tspeedup\textra_DRAM_traffic")
-	for _, p := range []*workload.Profile{workload.MediaStreaming(), workload.WebSearch()} {
+	for _, prof := range []*workload.Profile{workload.MediaStreaming(), workload.WebSearch()} {
 		if err := ctx.Err(); err != nil {
 			return context.Cause(ctx)
 		}
 		var uipc [2]float64
 		var dram [2]uint64
 		for i, pf := range []bool{false, true} {
-			e, err := newExplorer()
+			e, err := p.NewExplorer(env)
 			if err != nil {
 				return err
 			}
 			e.Sim.Core.StridePrefetch = pf
-			cl, err := sim.NewCluster(e.Sim, p, 2e9)
+			cl, err := sim.NewCluster(e.Sim, prof, 2e9)
 			if err != nil {
 				return err
 			}
@@ -118,31 +120,32 @@ func cmdPrefetch(ctx context.Context, newExplorer func() (*core.Explorer, error)
 		}
 		extra := float64(dram[1])/float64(dram[0]) - 1
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.2fx\t%+.1f%%\n",
-			p.Name, uipc[0], uipc[1], uipc[1]/uipc[0], 100*extra)
+			prof.Name, uipc[0], uipc[1], uipc[1]/uipc[0], 100*extra)
 	}
 	return w.Flush()
 }
 
-// cmdPorts runs the issue-port ablation: the unified 3-wide issue of the
+// runPorts runs the issue-port ablation: the unified 3-wide issue of the
 // calibrated model vs an A57-like per-class port split.
-func cmdPorts(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
+func runPorts(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== extension ablation: unified issue vs A57-like port split ==")
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "workload\tUIPC_unified\tUIPC_ports\tdelta")
-	for _, p := range []*workload.Profile{workload.WebSearch(), workload.VMHighMem()} {
+	for _, prof := range []*workload.Profile{workload.WebSearch(), workload.VMHighMem()} {
 		if err := ctx.Err(); err != nil {
 			return context.Cause(ctx)
 		}
 		var uipc [2]float64
 		for i, ports := range []bool{false, true} {
-			e, err := newExplorer()
+			e, err := p.NewExplorer(env)
 			if err != nil {
 				return err
 			}
 			if ports {
 				e.Sim.Core.Ports = cpu.A57Ports()
 			}
-			cl, err := sim.NewCluster(e.Sim, p, 2e9)
+			cl, err := sim.NewCluster(e.Sim, prof, 2e9)
 			if err != nil {
 				return err
 			}
@@ -151,17 +154,18 @@ func cmdPorts(ctx context.Context, newExplorer func() (*core.Explorer, error)) e
 			uipc[i] = cl.Measure(60000).UIPC()
 		}
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%+.1f%%\n",
-			p.Name, uipc[0], uipc[1], 100*(uipc[1]/uipc[0]-1))
+			prof.Name, uipc[0], uipc[1], 100*(uipc[1]/uipc[0]-1))
 	}
 	return w.Flush()
 }
 
-// cmdHetero demonstrates per-cluster DVFS consolidation (Sec. V-C): a chip
+// runHetero demonstrates per-cluster DVFS consolidation (Sec. V-C): a chip
 // slice hosting a latency-critical cluster at its QoS point alongside batch
 // VM clusters parked at the near-threshold optimum, with shared DRAM.
-func cmdHetero(ctx context.Context, newExplorer func() (*core.Explorer, error)) error {
+func runHetero(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== Sec. V-C: heterogeneous per-cluster operation (3-cluster chip slice) ==")
-	e, err := newExplorer()
+	e, err := p.NewExplorer(env)
 	if err != nil {
 		return err
 	}
@@ -180,7 +184,7 @@ func cmdHetero(ctx context.Context, newExplorer func() (*core.Explorer, error)) 
 			{Profile: workload.VMHighMem(), FreqHz: 0.3e9},
 		}},
 	}
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "scenario\tcluster\tworkload\tfreq_MHz\tUIPS_G\tcores_W")
 	for _, sc := range scenarios {
 		if err := ctx.Err(); err != nil {
@@ -212,27 +216,28 @@ func cmdHetero(ctx context.Context, newExplorer func() (*core.Explorer, error)) 
 	return w.Flush()
 }
 
-// cmdWarm pre-builds warmed-cluster checkpoints for every workload so that
-// subsequent runs with the same -ckptdir skip the warmup entirely.
-func cmdWarm(ctx context.Context, newExplorer func() (*core.Explorer, error), ckptDir string) error {
-	if ckptDir == "" {
-		return fmt.Errorf("warm requires -ckptdir")
+// runWarm pre-builds warmed-cluster checkpoints for every workload so that
+// subsequent runs with the same checkpoint directory skip the warmup.
+func runWarm(ctx context.Context, p Params, env Env) error {
+	if env.CheckpointDir == "" {
+		return fmt.Errorf("experiments: warm requires a checkpoint directory (-ckptdir)")
 	}
+	out := env.out()
 	fmt.Fprintln(out, "== building warmed checkpoints ==")
-	for _, p := range append(workload.All(), workload.Extended()...) {
+	for _, prof := range append(workload.All(), workload.Extended()...) {
 		if err := ctx.Err(); err != nil {
 			return context.Cause(ctx)
 		}
-		e, err := newExplorer()
+		e, err := p.NewExplorer(env)
 		if err != nil {
 			return err
 		}
 		// A one-point sweep triggers warmup + checkpoint save.
-		if _, err := e.SweepContext(ctx, p, []float64{2e9}); err != nil {
+		if _, err := e.Sweep(ctx, prof, []float64{2e9}); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "  %s: done\n", p.Name)
+		fmt.Fprintf(out, "  %s: done\n", prof.Name)
 	}
-	fmt.Fprintf(out, "checkpoints in %s\n", ckptDir)
+	fmt.Fprintf(out, "checkpoints in %s\n", env.CheckpointDir)
 	return nil
 }

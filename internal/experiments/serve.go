@@ -1,75 +1,47 @@
-package main
+package experiments
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
-	"ntcsim/internal/core"
 	"ntcsim/internal/governor"
 	"ntcsim/internal/obs"
 	"ntcsim/internal/obs/timeseries"
 	"ntcsim/internal/parallel"
-	"ntcsim/internal/qos"
 	"ntcsim/internal/rng"
 	"ntcsim/internal/serve"
-	"ntcsim/internal/workload"
 )
 
-// cmdServe runs the discrete-event request-serving simulator over a
+// runServe runs the discrete-event request-serving simulator over a
 // compressed diurnal day: Poisson arrivals hit the governed fleet through
 // a load balancer, and each policy row is the MEASURED outcome — served
 // requests, streamed tail quantiles, drops, energy — rather than the
-// analytic plan cmdGovernor prints. The first four rows hold the policy
-// fixed at max-frequency to isolate the balancer; the last three hold the
-// balancer fixed at join-shortest-queue to isolate the policy.
-func cmdServe(ctx context.Context, newExplorer func() (*core.Explorer, error), seed uint64, sampler *timeseries.Sampler) error {
+// analytic plan the governor experiment prints. The first four rows hold
+// the policy fixed at max-frequency to isolate the balancer; the last
+// three hold the balancer fixed at join-shortest-queue to isolate the
+// policy.
+func runServe(ctx context.Context, p Params, env Env) error {
+	out := env.out()
 	fmt.Fprintln(out, "== Request serving: closed-loop DES over a diurnal day (web-search) ==")
-	e, err := newExplorer()
+	cfg, e, peak, err := governorConfig(ctx, p, env)
 	if err != nil {
 		return err
 	}
-	app := workload.WebSearch()
-	sweep, err := e.SweepContext(ctx, app, []float64{0.2e9, 0.3e9, 0.5e9, 0.7e9, 1.0e9, 1.5e9, 2.0e9})
-	if err != nil {
-		return err
-	}
-	var pts []governor.PerfPoint
-	for _, p := range sweep.Points {
-		pts = append(pts, governor.PerfPoint{FreqHz: p.FreqHz, UIPS: p.UIPSChip})
-	}
-	curve, err := governor.NewPerfCurve(pts)
-	if err != nil {
-		return err
-	}
-	maxUIPS := curve.UIPSAt(curve.MaxFreq())
-	cfg := &governor.Config{
-		Platform:       e.Platform,
-		Curve:          curve,
-		Tail:           qos.NewTailModel(e.Platform.TotalCores(), app.Baseline99p, maxUIPS),
-		QoSLimit:       app.QoSLimit,
-		UncoreW:        e.Platform.UncorePowerW(100e6, 40e6, 150e6),
-		MemBackgroundW: e.Platform.MemoryPowerW(0, 0),
-		MemDynPerReq:   2e-3,
-		Margin:         0.85,
-	}
-	// Attribute the scalar UncoreW across ledger scopes (same rates).
-	llcW, xbarW, ioW := e.Platform.UncorePowerParts(100e6, 40e6, 150e6)
-	cfg.Uncore = governor.UncoreBreakdown{LLCW: llcW, XbarW: xbarW, IOW: ioW}
-	// The same diurnal day cmdGovernor replays open-loop, compressed to
-	// one-second epochs so the DES serves it request by request in
-	// reasonable time; rates and epoch count are untouched.
-	peak := cfg.Tail.MaxLoad(cfg.QoSLimit, maxUIPS) * 0.7
-	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(seed)).WithStep(time.Second)
-	return serveReport(ctx, e.Jobs, serveShape{
+	// The same diurnal day the governor experiment replays open-loop,
+	// compressed to one-second epochs so the DES serves it request by
+	// request in reasonable time; rates and epoch count are untouched.
+	trace := governor.DiurnalTrace(96, peak, 0.15, 0.04, 1.3, rng.New(p.Seed)).WithStep(time.Second)
+	return ServeReport(ctx, env.Jobs, ServeShape{
 		Clusters:        e.Platform.Clusters,
 		CoresPerCluster: e.Platform.CoresPerCl,
 		Warmup:          5 * time.Second,
-	}, cfg, trace, seed, e.Obs, e.Tracer, sampler)
+	}, cfg, trace, p.Seed, env.Obs, env.Tracer, env.Telemetry, env.Out)
 }
 
-// serveShape is the fleet geometry a serve scenario runs on.
-type serveShape struct {
+// ServeShape is the fleet geometry a serve scenario runs on.
+type ServeShape struct {
 	Clusters        int
 	CoresPerCluster int
 	Warmup          time.Duration
@@ -99,14 +71,16 @@ func serveScenarios(cfg *governor.Config) []serveScenario {
 	}
 }
 
-// serveReport runs every scenario over the trace and prints the measured
-// comparison table. Scenarios are independent simulations, so they fan
-// out under the -jobs budget; each derives its randomness from its index,
-// keeping the output byte-identical for any worker count (see
-// TestServeReportAcrossJobs).
-func serveReport(ctx context.Context, jobs int, shape serveShape, cfg *governor.Config,
+// ServeReport runs every scenario over the trace and prints the measured
+// comparison table to out. Scenarios are independent simulations, so they
+// fan out under the jobs budget; each derives its randomness from its
+// index, keeping the output byte-identical for any worker count (see
+// TestServeReportAcrossJobs). Exported because the serve determinism and
+// telemetry gates drive it directly with synthetic configurations.
+func ServeReport(ctx context.Context, jobs int, shape ServeShape, cfg *governor.Config,
 	trace governor.LoadTrace, seed uint64, reg *obs.Registry, tracer *obs.Tracer,
-	sampler *timeseries.Sampler) error {
+	sampler *timeseries.Sampler, out io.Writer) error {
+	env := Env{Out: out}
 	scenarios := serveScenarios(cfg)
 	root := rng.New(seed).Derive("serve-cmd")
 	results, err := parallel.Map(ctx, len(scenarios), jobs,
@@ -137,7 +111,7 @@ func serveReport(ctx context.Context, jobs int, shape serveShape, cfg *governor.
 	if err != nil {
 		return err
 	}
-	w := table()
+	w := env.tbl()
 	fmt.Fprintln(w, "policy\tbalancer\tserved\tp50_ms\tp95_ms\tp99_ms\tp99.9_ms\tviolations\tdrops\tenergy_kJ\tavg_W")
 	for _, r := range results {
 		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%.2f\t%.1f\n",

@@ -8,12 +8,14 @@ import (
 )
 
 // ctxloopPkgDefault lists the packages whose long-running loops must be
-// cancellable: the sweep orchestrator and the worker-pool fan-out layer.
-// A sweep across a large frequency×voltage grid can run for minutes;
-// accepting a context and then spinning without consulting it turns
-// cancellation (Ctrl-C, test timeouts, fault-injection aborts) into a
-// hang.
-const ctxloopPkgDefault = "ntcsim/internal/core,ntcsim/internal/parallel"
+// cancellable: the sweep orchestrator, the worker-pool fan-out layer,
+// the experiment drivers and the job service that runs them. A sweep
+// across a large frequency×voltage grid can run for minutes; accepting
+// a context and then spinning without consulting it turns cancellation
+// (Ctrl-C, test timeouts, job cancellation, fault-injection aborts)
+// into a hang.
+const ctxloopPkgDefault = "ntcsim/internal/core,ntcsim/internal/parallel," +
+	"ntcsim/internal/experiments,ntcsim/internal/service"
 
 // CtxloopAnalyzer flags unbounded loops (for {} and for cond-less
 // retry loops) inside context-accepting functions that never observe the

@@ -14,6 +14,7 @@ import (
 type Progress struct {
 	mu    sync.Mutex
 	w     io.Writer
+	fn    func(done, total int, label string, d time.Duration)
 	start time.Time
 	total int
 	done  int
@@ -26,6 +27,15 @@ type Progress struct {
 // graceful shutdown uses to say which points completed.
 func NewProgress(w io.Writer) *Progress {
 	return &Progress{w: w, start: time.Now()}
+}
+
+// NewProgressFunc returns a reporter that invokes fn on every completed
+// unit with the counters already advanced. It is the programmatic twin
+// of NewProgress: the ntcsimd job service uses it to turn sweep progress
+// into server-sent events. fn runs under the reporter's lock, so it must
+// not call back into the reporter; a nil fn makes a count-only reporter.
+func NewProgressFunc(fn func(done, total int, label string, d time.Duration)) *Progress {
+	return &Progress{fn: fn, start: time.Now()}
 }
 
 // Add announces n more units of expected work (called once per sweep
@@ -47,6 +57,9 @@ func (p *Progress) Done(label string, d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
+	if p.fn != nil {
+		p.fn(p.done, p.total, label, d)
+	}
 	if p.w == nil {
 		return
 	}
